@@ -1,0 +1,3 @@
+module ddoshield
+
+go 1.22

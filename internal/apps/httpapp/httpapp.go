@@ -1,0 +1,232 @@
+// Package httpapp implements the Apache analog of the TServer and its
+// client workload: a minimal HTTP/1.1 server over the simulated TCP stack
+// that answers GETs with configurable object sizes, and a client that
+// fetches objects with Poisson think times over short-lived connections —
+// the benign web traffic of the paper's benign-traffic mix.
+package httpapp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"ddoshield/internal/apps/workload"
+	"ddoshield/internal/netstack"
+	"ddoshield/internal/packet"
+	"ddoshield/internal/sim"
+)
+
+// DefaultPort is the HTTP port the TServer listens on.
+const DefaultPort = 80
+
+// ServerConfig tunes the HTTP server.
+type ServerConfig struct {
+	// Port to listen on (default 80).
+	Port uint16
+	// MeanObjectBytes is the mean response body size (default 8 KiB);
+	// actual sizes are drawn from a bounded Pareto (heavy-tailed, like
+	// real web objects).
+	MeanObjectBytes int
+	// Seed drives the size distribution.
+	Seed int64
+}
+
+// Server is the Apache analog.
+type Server struct {
+	cfg      ServerConfig
+	rng      *sim.RNG
+	listener *netstack.Listener
+
+	requests uint64
+	bytesOut uint64
+}
+
+// NewServer returns an unstarted HTTP server.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Port == 0 {
+		cfg.Port = DefaultPort
+	}
+	if cfg.MeanObjectBytes <= 0 {
+		cfg.MeanObjectBytes = 8 << 10
+	}
+	return &Server{cfg: cfg, rng: sim.Substream(cfg.Seed, "httpapp/server")}
+}
+
+// Attach binds the server to a host's stack and starts listening.
+func (s *Server) Attach(h *netstack.Host) error {
+	l, err := h.ListenTCP(s.cfg.Port, 0, s.accept)
+	if err != nil {
+		return fmt.Errorf("httpapp: %w", err)
+	}
+	s.listener = l
+	return nil
+}
+
+// Detach stops accepting connections.
+func (s *Server) Detach() {
+	if s.listener != nil {
+		s.listener.Close()
+		s.listener = nil
+	}
+}
+
+// Stats reports requests served and body bytes sent.
+func (s *Server) Stats() (requests, bytesOut uint64) { return s.requests, s.bytesOut }
+
+// Listener exposes the underlying TCP listener (for backlog statistics
+// under attack).
+func (s *Server) Listener() *netstack.Listener { return s.listener }
+
+func (s *Server) accept(c *netstack.Conn) {
+	var buf strings.Builder
+	c.OnData = func(d []byte) {
+		buf.Write(d)
+		req := buf.String()
+		end := strings.Index(req, "\r\n\r\n")
+		if end < 0 {
+			if buf.Len() > 8192 {
+				c.Abort()
+			}
+			return
+		}
+		buf.Reset()
+		line := req
+		if i := strings.Index(req, "\r\n"); i >= 0 {
+			line = req[:i]
+		}
+		s.respond(c, line)
+	}
+	c.OnRemoteClose = func() { c.Close() }
+}
+
+func (s *Server) respond(c *netstack.Conn, requestLine string) {
+	fields := strings.Fields(requestLine)
+	if len(fields) < 2 || fields[0] != "GET" {
+		c.Send([]byte("HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n"))
+		c.Close()
+		return
+	}
+	s.requests++
+	// Heavy-tailed object size, bounded to keep single responses sane.
+	size := int(s.rng.Pareto(float64(s.cfg.MeanObjectBytes)/3, 1.5))
+	if size > 1<<20 {
+		size = 1 << 20
+	}
+	header := fmt.Sprintf("HTTP/1.1 200 OK\r\nServer: tserver-apache\r\nContent-Length: %d\r\n\r\n", size)
+	body := make([]byte, size)
+	s.rng.Bytes(body)
+	s.bytesOut += uint64(size)
+	c.Send([]byte(header))
+	c.Send(body)
+	// HTTP/1.0-style: close after the response; clients open fresh
+	// connections per object, producing the short-lived-connection pattern
+	// the IDS features examine.
+	c.Close()
+}
+
+// Client fetches objects from the server in a Poisson loop, one short-lived
+// connection per object.
+type Client struct {
+	host      *netstack.Host
+	server    packet.Addr
+	port      uint16
+	meanThink time.Duration
+	proc      *workload.Process
+	rng       *sim.RNG
+
+	fetches   uint64
+	completed uint64
+	failed    uint64
+	bytesIn   uint64
+}
+
+// NewClient returns an unstarted client that will fetch from server:port
+// with exponential think times of the given mean (default 2 s).
+func NewClient(server packet.Addr, port uint16, meanThink time.Duration, seed int64) *Client {
+	if port == 0 {
+		port = DefaultPort
+	}
+	if meanThink <= 0 {
+		meanThink = 2 * time.Second
+	}
+	return &Client{
+		server:    server,
+		port:      port,
+		meanThink: meanThink,
+		rng:       sim.Substream(seed, "httpapp/client"),
+	}
+}
+
+// Attach binds the client to a host and starts the fetch loop.
+func (c *Client) Attach(h *netstack.Host) {
+	c.host = h
+	c.proc = workload.NewPoisson(h.Scheduler(), c.rng, c.meanThink, c.fetch)
+	c.proc.Start()
+}
+
+// Detach stops the fetch loop (in-flight fetches finish naturally).
+func (c *Client) Detach() {
+	if c.proc != nil {
+		c.proc.Stop()
+		c.proc = nil
+	}
+}
+
+// Stats reports fetches started, completed, failed and body bytes received.
+func (c *Client) Stats() (fetches, completed, failed, bytesIn uint64) {
+	return c.fetches, c.completed, c.failed, c.bytesIn
+}
+
+func (c *Client) fetch() {
+	c.fetches++
+	conn := c.host.DialTCP(c.server, c.port)
+	path := fmt.Sprintf("/obj/%d", c.rng.Intn(1000))
+	var (
+		header   strings.Builder
+		inBody   bool
+		expected int
+		got      int
+	)
+	conn.OnConnect = func() {
+		conn.Send([]byte("GET " + path + " HTTP/1.1\r\nHost: tserver\r\n\r\n"))
+	}
+	conn.OnData = func(d []byte) {
+		if !inBody {
+			header.Write(d)
+			full := header.String()
+			end := strings.Index(full, "\r\n\r\n")
+			if end < 0 {
+				return
+			}
+			expected = parseContentLength(full[:end])
+			got = len(full) - end - 4
+			inBody = true
+		} else {
+			got += len(d)
+		}
+		c.bytesIn += uint64(len(d))
+		if inBody && got >= expected {
+			c.completed++
+			conn.Close()
+		}
+	}
+	conn.OnRemoteClose = func() { conn.Close() }
+	conn.OnClose = func(err error) {
+		if err != nil {
+			c.failed++
+		}
+	}
+}
+
+func parseContentLength(header string) int {
+	for _, line := range strings.Split(header, "\r\n") {
+		if v, ok := strings.CutPrefix(line, "Content-Length: "); ok {
+			n, err := strconv.Atoi(strings.TrimSpace(v))
+			if err == nil {
+				return n
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,153 @@
+package botnet
+
+import (
+	"time"
+
+	"ddoshield/internal/apps/workload"
+	"ddoshield/internal/netstack"
+	"ddoshield/internal/packet"
+	"ddoshield/internal/sim"
+)
+
+// keepaliveInterval paces the bot's C2 PING keepalives.
+const keepaliveInterval = 30 * time.Second
+
+// reconnectDelay paces re-dials after losing the C2.
+const reconnectDelay = 5 * time.Second
+
+// Bot is the implant that runs on an infected device: it holds a C2
+// session, answers keepalives, and executes flood commands.
+type Bot struct {
+	id     string
+	host   *netstack.Host
+	c2Addr packet.Addr
+	c2Port uint16
+	spoof  packet.Prefix
+	rng    *sim.RNG
+
+	conn      *netstack.Conn
+	keepalive *sim.Ticker
+	engine    Engine
+	stopped   bool
+
+	attacksRun uint64
+	pktsSent   uint64
+}
+
+// NewBot returns an unstarted bot. spoof supplies the source-address range
+// its SYN/ACK floods forge.
+func NewBot(id string, c2Addr packet.Addr, c2Port uint16, spoof packet.Prefix, seed int64) *Bot {
+	if c2Port == 0 {
+		c2Port = DefaultC2Port
+	}
+	return &Bot{
+		id:     id,
+		c2Addr: c2Addr,
+		c2Port: c2Port,
+		spoof:  spoof,
+		rng:    sim.Substream(seed, "bot/"+id),
+	}
+}
+
+// ID reports the bot identifier used at registration.
+func (b *Bot) ID() string { return b.id }
+
+// Attach starts the bot on a host: it dials the C2 and awaits commands.
+func (b *Bot) Attach(h *netstack.Host) {
+	b.host = h
+	b.stopped = false
+	b.dialC2()
+}
+
+// Detach kills the implant: the C2 session closes and any running flood
+// stops (a rebooted device loses Mirai, which lives only in memory).
+func (b *Bot) Detach() {
+	b.stopped = true
+	if b.engine != nil {
+		b.pktsSent += b.engine.Sent()
+		b.engine.Stop()
+		b.engine = nil
+	}
+	if b.keepalive != nil {
+		b.keepalive.Stop()
+		b.keepalive = nil
+	}
+	if b.conn != nil {
+		b.conn.Abort()
+		b.conn = nil
+	}
+}
+
+// Stats reports attacks executed and flood packets sent.
+func (b *Bot) Stats() (attacksRun, pktsSent uint64) {
+	sent := b.pktsSent
+	if b.engine != nil {
+		sent += b.engine.Sent()
+	}
+	return b.attacksRun, sent
+}
+
+// Attacking reports whether an attack is currently running.
+func (b *Bot) Attacking() bool { return b.engine != nil && b.engine.Running() }
+
+func (b *Bot) dialC2() {
+	if b.stopped {
+		return
+	}
+	conn := b.host.DialTCP(b.c2Addr, b.c2Port)
+	b.conn = conn
+	conn.OnConnect = func() {
+		conn.Send([]byte("REG " + b.id + "\r\n"))
+		if b.keepalive != nil {
+			b.keepalive.Stop()
+		}
+		b.keepalive = b.host.Scheduler().Every(keepaliveInterval, func() {
+			conn.Send([]byte("PING\r\n"))
+		})
+	}
+	workload.AttachLines(conn, func(line string) {
+		cmd, err := ParseCommand(line)
+		if err != nil {
+			return // OK / PONG / noise
+		}
+		b.execute(cmd)
+	})
+	conn.OnRemoteClose = func() { conn.Close() }
+	conn.OnClose = func(err error) {
+		if b.keepalive != nil {
+			b.keepalive.Stop()
+			b.keepalive = nil
+		}
+		if b.conn == conn {
+			b.conn = nil
+		}
+		if !b.stopped {
+			b.host.Scheduler().After(reconnectDelay, b.dialC2)
+		}
+	}
+}
+
+func (b *Bot) execute(cmd Command) {
+	if b.engine != nil {
+		b.pktsSent += b.engine.Sent()
+		b.engine.Stop() // new order supersedes the old one
+	}
+	b.attacksRun++
+	var eng Engine
+	if cmd.Type == AttackHTTP {
+		eng = NewHTTPFlood(b.host, b.rng, cmd)
+	} else {
+		eng = NewFlood(b.host, b.rng, cmd, b.spoof)
+	}
+	eng.SetOnDone(func() {
+		if b.engine == eng {
+			b.pktsSent += eng.Sent()
+			b.engine = nil
+		}
+		if b.conn != nil {
+			b.conn.Send([]byte("DONE\r\n"))
+		}
+	})
+	b.engine = eng
+	eng.Start()
+}

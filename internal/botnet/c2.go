@@ -1,0 +1,166 @@
+package botnet
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ddoshield/internal/apps/workload"
+	"ddoshield/internal/netstack"
+	"ddoshield/internal/sim"
+)
+
+// DefaultC2Port is the TCP port bots report to. The real Mirai C2 accepted
+// bots on port 23; the testbed keeps the C2 on its own port so telnet scan
+// traffic and C2 traffic remain distinguishable in captures.
+const DefaultC2Port = 5555
+
+// C2 is the command-and-control server: it accepts bot registrations,
+// answers keepalives, broadcasts attack commands and tracks the connected
+// population over time (the "number of connected bots" metric DDoSim
+// reports).
+type C2 struct {
+	port      uint16
+	host      *netstack.Host
+	listener  *netstack.Listener
+	bots      map[string]*botSession
+	history   []PopulationSample
+	intervals []AttackInterval
+
+	commandsSent uint64
+	registered   uint64
+}
+
+// PopulationSample is one point of the connected-bots timeline.
+type PopulationSample struct {
+	Time sim.Time
+	Bots int
+}
+
+type botSession struct {
+	id   string
+	conn *netstack.Conn
+}
+
+// NewC2 returns an unstarted C2 on the given port (0 = DefaultC2Port).
+func NewC2(port uint16) *C2 {
+	if port == 0 {
+		port = DefaultC2Port
+	}
+	return &C2{port: port, bots: make(map[string]*botSession)}
+}
+
+// Port reports the C2 listen port.
+func (c *C2) Port() uint16 { return c.port }
+
+// Attach binds the C2 to a host and starts listening.
+func (c *C2) Attach(h *netstack.Host) error {
+	c.host = h
+	l, err := h.ListenTCP(c.port, 0, c.accept)
+	if err != nil {
+		return fmt.Errorf("c2: %w", err)
+	}
+	c.listener = l
+	return nil
+}
+
+// Detach stops the C2.
+func (c *C2) Detach() {
+	if c.listener != nil {
+		c.listener.Close()
+		c.listener = nil
+	}
+}
+
+// Bots reports the currently connected bot count.
+func (c *C2) Bots() int { return len(c.bots) }
+
+// History returns the connected-bots timeline (one sample per change).
+func (c *C2) History() []PopulationSample {
+	out := make([]PopulationSample, len(c.history))
+	copy(out, c.history)
+	return out
+}
+
+// Stats reports total registrations and commands sent.
+func (c *C2) Stats() (registered, commandsSent uint64) {
+	return c.registered, c.commandsSent
+}
+
+func (c *C2) samplePopulation() {
+	c.history = append(c.history, PopulationSample{Time: c.host.Now(), Bots: len(c.bots)})
+}
+
+func (c *C2) accept(conn *netstack.Conn) {
+	var sess *botSession
+	workload.AttachLines(conn, func(line string) {
+		switch {
+		case strings.HasPrefix(line, "REG "):
+			id := strings.TrimSpace(strings.TrimPrefix(line, "REG "))
+			if id == "" {
+				return
+			}
+			if old, ok := c.bots[id]; ok && old.conn != conn {
+				old.conn.Close()
+			}
+			sess = &botSession{id: id, conn: conn}
+			c.bots[id] = sess
+			c.registered++
+			c.samplePopulation()
+			conn.Send([]byte("OK\r\n"))
+		case line == "PING":
+			conn.Send([]byte("PONG\r\n"))
+		}
+	})
+	drop := func() {
+		if sess != nil && c.bots[sess.id] == sess {
+			delete(c.bots, sess.id)
+			c.samplePopulation()
+		}
+		sess = nil
+	}
+	conn.OnRemoteClose = func() {
+		conn.Close()
+		drop()
+	}
+	conn.OnClose = func(err error) { drop() }
+}
+
+// Broadcast sends an attack command to every connected bot, records the
+// attack interval for labeling, and returns how many bots received it.
+func (c *C2) Broadcast(cmd Command) int {
+	line := []byte(cmd.String() + "\r\n")
+	n := 0
+	for _, b := range c.bots {
+		b.conn.Send(line)
+		n++
+	}
+	c.commandsSent += uint64(n)
+	if n > 0 {
+		now := c.host.Now()
+		c.intervals = append(c.intervals, AttackInterval{
+			Cmd:   cmd,
+			Start: now,
+			End:   now.Add(cmd.Duration),
+			Bots:  c.BotAddrs(),
+		})
+	}
+	return n
+}
+
+// ScheduleAttack broadcasts cmd at simulated instant at. Bots that join
+// between scheduling and firing are included (the broadcast reads the
+// population at fire time).
+func (c *C2) ScheduleAttack(at sim.Time, cmd Command) {
+	c.host.Scheduler().At(at, func() { c.Broadcast(cmd) })
+}
+
+// ScheduleWave schedules a sequence of attacks starting at start, each gap
+// apart, cycling through vectors in order.
+func (c *C2) ScheduleWave(start sim.Time, gap time.Duration, cmds []Command) {
+	at := start
+	for _, cmd := range cmds {
+		c.ScheduleAttack(at, cmd)
+		at = at.Add(cmd.Duration + gap)
+	}
+}

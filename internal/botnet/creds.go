@@ -1,0 +1,83 @@
+// Package botnet reimplements the behaviour of the Mirai botnet used by
+// DDoShield-IoT to generate malicious traffic: the attacker's telnet
+// credential scanner, the loader that infects vulnerable devices, the
+// command-and-control server, and the bots' SYN/ACK/UDP flood engines. The
+// IDS never sees the malware binary — only its traffic — so a behavioural
+// reimplementation that emits the same packet-level signatures (dictionary
+// telnet probes, C2 keepalives, spoofed-source floods with randomized
+// ports) preserves everything the paper's experiments measure.
+package botnet
+
+// Credential is one username/password pair from the scanner's dictionary.
+type Credential struct {
+	User string
+	Pass string
+}
+
+// DefaultDictionary is a representative subset of the credential list
+// hard-coded in the leaked Mirai source (scanner.c); the weak factory
+// credentials of the device fleet are drawn from the same list, so a
+// dictionary scan succeeds against vulnerable profiles exactly as the real
+// malware's did.
+var DefaultDictionary = []Credential{
+	{"root", "xc3511"},
+	{"root", "vizxv"},
+	{"root", "admin"},
+	{"admin", "admin"},
+	{"root", "888888"},
+	{"root", "xmhdipc"},
+	{"root", "default"},
+	{"root", "juantech"},
+	{"root", "123456"},
+	{"root", "54321"},
+	{"support", "support"},
+	{"root", ""},
+	{"admin", "password"},
+	{"root", "root"},
+	{"root", "12345"},
+	{"user", "user"},
+	{"admin", ""},
+	{"root", "pass"},
+	{"admin", "admin1234"},
+	{"root", "1111"},
+	{"admin", "smcadmin"},
+	{"admin", "1111"},
+	{"root", "666666"},
+	{"root", "password"},
+	{"root", "1234"},
+	{"root", "klv123"},
+	{"Administrator", "admin"},
+	{"service", "service"},
+	{"supervisor", "supervisor"},
+	{"guest", "guest"},
+	{"guest", "12345"},
+	{"admin1", "password"},
+	{"administrator", "1234"},
+	{"666666", "666666"},
+	{"888888", "888888"},
+	{"ubnt", "ubnt"},
+	{"root", "klv1234"},
+	{"root", "Zte521"},
+	{"root", "hi3518"},
+	{"root", "jvbzd"},
+	{"root", "anko"},
+	{"root", "zlxx."},
+	{"root", "7ujMko0vizxv"},
+	{"root", "7ujMko0admin"},
+	{"root", "system"},
+	{"root", "ikwb"},
+	{"root", "dreambox"},
+	{"root", "user"},
+	{"root", "realtek"},
+	{"root", "00000000"},
+	{"admin", "1111111"},
+	{"admin", "1234"},
+	{"admin", "12345"},
+	{"admin", "54321"},
+	{"admin", "123456"},
+	{"admin", "7ujMko0admin"},
+	{"admin", "pass"},
+	{"admin", "meinsm"},
+	{"tech", "tech"},
+	{"mother", "fucker"},
+}

@@ -1,0 +1,263 @@
+// Package container provides the Docker-container analog of the testbed:
+// named, isolated execution contexts that host an application (an IoT
+// binary, the attacker toolkit, the target servers or the IDS), own a
+// network stack bound to a simulated NIC, and meter their own CPU and
+// memory consumption. The paper uses Docker for exactly these observable
+// properties — isolation, a network namespace bridged into NS-3, and
+// `docker stats`-style resource metrics — all of which this package
+// reproduces inside the simulation process.
+package container
+
+import (
+	"fmt"
+	"time"
+
+	"ddoshield/internal/netsim"
+	"ddoshield/internal/netstack"
+	"ddoshield/internal/packet"
+	"ddoshield/internal/sim"
+)
+
+// State is a container lifecycle state.
+type State int
+
+// Container lifecycle states.
+const (
+	StateCreated State = iota + 1
+	StateRunning
+	StateStopped
+)
+
+// String renders the lifecycle state.
+func (s State) String() string {
+	switch s {
+	case StateCreated:
+		return "created"
+	case StateRunning:
+		return "running"
+	case StateStopped:
+		return "stopped"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// App is the workload a container hosts. Start is invoked when the
+// container starts and must register all simulation callbacks; Stop must
+// cancel them.
+type App interface {
+	Start(c *Container)
+	Stop()
+}
+
+// AppFuncs adapts a pair of functions to the App interface.
+type AppFuncs struct {
+	OnStart func(c *Container)
+	OnStop  func()
+}
+
+// Start implements App.
+func (a AppFuncs) Start(c *Container) {
+	if a.OnStart != nil {
+		a.OnStart(c)
+	}
+}
+
+// Stop implements App.
+func (a AppFuncs) Stop() {
+	if a.OnStop != nil {
+		a.OnStop()
+	}
+}
+
+var _ App = AppFuncs{}
+
+// Runtime creates and tracks containers, the way a Docker daemon does.
+type Runtime struct {
+	net        *netsim.Network
+	containers []*Container
+	byName     map[string]*Container
+}
+
+// NewRuntime returns a runtime attached to the simulated network.
+func NewRuntime(net *netsim.Network) *Runtime {
+	return &Runtime{net: net, byName: make(map[string]*Container)}
+}
+
+// Network returns the simulated network the runtime attaches containers to.
+func (r *Runtime) Network() *netsim.Network { return r.net }
+
+// Spec describes a container to create.
+type Spec struct {
+	// Name is the unique container name ("attacker", "tserver", "ids", ...).
+	Name string
+	// Image is a free-form label recorded for diagnostics ("mirai:latest").
+	Image string
+	// Host configures the container's network stack.
+	Host netstack.HostConfig
+	// App is the hosted workload (may be nil for bare network containers).
+	App App
+}
+
+// Create provisions a container with its own node, NIC and network stack,
+// and wires the NIC to the given switch port via link config cfg.
+func (r *Runtime) Create(spec Spec, sw *netsim.Switch, link netsim.LinkConfig) (*Container, error) {
+	if _, dup := r.byName[spec.Name]; dup {
+		return nil, fmt.Errorf("container %q already exists", spec.Name)
+	}
+	node := r.net.NewNode(spec.Name)
+	nic := node.AddNIC()
+	l := r.net.Connect(nic, sw.NewPort(), link)
+	host := netstack.NewHost(nic, spec.Host)
+	c := &Container{
+		runtime: r,
+		name:    spec.Name,
+		image:   spec.Image,
+		node:    node,
+		link:    l,
+		host:    host,
+		app:     spec.App,
+		state:   StateCreated,
+		mem:     make(map[string]int64),
+	}
+	r.containers = append(r.containers, c)
+	r.byName[spec.Name] = c
+	return c, nil
+}
+
+// Get returns the named container, or nil.
+func (r *Runtime) Get(name string) *Container { return r.byName[name] }
+
+// Containers lists containers in creation order.
+func (r *Runtime) Containers() []*Container {
+	out := make([]*Container, len(r.containers))
+	copy(out, r.containers)
+	return out
+}
+
+// Container is one isolated workload with its own network identity and
+// resource accounting.
+type Container struct {
+	runtime *Runtime
+	name    string
+	image   string
+	node    *netsim.Node
+	link    *netsim.Link
+	host    *netstack.Host
+	app     App
+	state   State
+
+	cpu      time.Duration    // accumulated attributed compute time
+	mem      map[string]int64 // labeled live memory accounts, bytes
+	memPeak  int64
+	started  sim.Time
+	stopped  sim.Time
+	restarts int
+}
+
+// Name returns the container name.
+func (c *Container) Name() string { return c.name }
+
+// Image returns the image label.
+func (c *Container) Image() string { return c.image }
+
+// Host returns the container's network stack.
+func (c *Container) Host() *netstack.Host { return c.host }
+
+// Addr returns the container's IPv4 address.
+func (c *Container) Addr() packet.Addr { return c.host.Addr() }
+
+// Link returns the container's uplink; churn models cut and restore it.
+func (c *Container) Link() *netsim.Link { return c.link }
+
+// State reports the lifecycle state.
+func (c *Container) State() State { return c.state }
+
+// StartedAt reports when the container last started.
+func (c *Container) StartedAt() sim.Time { return c.started }
+
+// Restarts reports how many times the container has been restarted.
+func (c *Container) Restarts() int { return c.restarts }
+
+// Start runs the hosted app. Starting a running container is a no-op.
+func (c *Container) Start() {
+	if c.state == StateRunning {
+		return
+	}
+	if c.state == StateStopped {
+		c.restarts++
+	}
+	c.state = StateRunning
+	c.started = c.runtime.net.Now()
+	c.link.SetUp(true)
+	if c.app != nil {
+		c.app.Start(c)
+	}
+}
+
+// Stop halts the hosted app and cuts the uplink (the container disappears
+// from the network, as `docker stop` makes it do).
+func (c *Container) Stop() {
+	if c.state != StateRunning {
+		return
+	}
+	c.state = StateStopped
+	c.stopped = c.runtime.net.Now()
+	if c.app != nil {
+		c.app.Stop()
+	}
+	c.link.SetUp(false)
+}
+
+// SetApp replaces the hosted app; the replacement starts with the container.
+func (c *Container) SetApp(a App) { c.app = a }
+
+// --- resource accounting (the `docker stats` analog) ---
+
+// AddCPU attributes d of compute time to the container.
+func (c *Container) AddCPU(d time.Duration) {
+	if d > 0 {
+		c.cpu += d
+	}
+}
+
+// MeterCPU starts a stopwatch and returns a function that, when called,
+// attributes the elapsed real time to the container:
+//
+//	defer c.MeterCPU()()
+func (c *Container) MeterCPU() func() {
+	start := time.Now()
+	return func() { c.AddCPU(time.Since(start)) }
+}
+
+// CPUTime reports total attributed compute time.
+func (c *Container) CPUTime() time.Duration { return c.cpu }
+
+// SetMem records the live size of a labeled memory account (e.g. "model",
+// "window-buffer"). Passing 0 releases the account.
+func (c *Container) SetMem(label string, bytes int64) {
+	if bytes <= 0 {
+		delete(c.mem, label)
+	} else {
+		c.mem[label] = bytes
+	}
+	if t := c.MemBytes(); t > c.memPeak {
+		c.memPeak = t
+	}
+}
+
+// MemBytes reports current accounted memory in bytes.
+func (c *Container) MemBytes() int64 {
+	var t int64
+	for _, v := range c.mem {
+		t += v
+	}
+	return t
+}
+
+// MemPeakBytes reports the high-water mark of accounted memory.
+func (c *Container) MemPeakBytes() int64 { return c.memPeak }
+
+// String renders a `docker ps`-style line.
+func (c *Container) String() string {
+	return fmt.Sprintf("%s (%s, %s, ip=%v)", c.name, c.image, c.state, c.host.Addr())
+}

@@ -1,0 +1,191 @@
+package container
+
+import (
+	"testing"
+	"time"
+
+	"ddoshield/internal/netsim"
+	"ddoshield/internal/netstack"
+	"ddoshield/internal/packet"
+	"ddoshield/internal/sim"
+)
+
+func testRuntime(t *testing.T) (*sim.Scheduler, *Runtime, *netsim.Switch) {
+	t.Helper()
+	s := sim.NewScheduler()
+	net := netsim.New(s)
+	return s, NewRuntime(net), net.NewSwitch("sw0")
+}
+
+func spec(name string, hostByte byte) Spec {
+	return Spec{
+		Name:  name,
+		Image: "test:latest",
+		Host: netstack.HostConfig{
+			Addr:   packet.AddrFrom4(10, 0, 0, hostByte),
+			Subnet: packet.MustParsePrefix("10.0.0.0/24"),
+			Seed:   int64(hostByte),
+		},
+	}
+}
+
+func TestCreateAndLookup(t *testing.T) {
+	_, rt, sw := testRuntime(t)
+	c, err := rt.Create(spec("dev1", 10), sw, netsim.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Get("dev1") != c {
+		t.Fatal("Get lookup failed")
+	}
+	if rt.Get("missing") != nil {
+		t.Fatal("Get returned phantom container")
+	}
+	if len(rt.Containers()) != 1 {
+		t.Fatal("Containers() length")
+	}
+	if c.State() != StateCreated {
+		t.Fatalf("initial state = %v", c.State())
+	}
+	if c.Addr() != packet.AddrFrom4(10, 0, 0, 10) {
+		t.Fatalf("Addr = %v", c.Addr())
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	_, rt, sw := testRuntime(t)
+	if _, err := rt.Create(spec("dup", 1), sw, netsim.LinkConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Create(spec("dup", 2), sw, netsim.LinkConfig{}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestAppLifecycle(t *testing.T) {
+	_, rt, sw := testRuntime(t)
+	started, stopped := 0, 0
+	app := AppFuncs{
+		OnStart: func(c *Container) { started++ },
+		OnStop:  func() { stopped++ },
+	}
+	sp := spec("app", 3)
+	sp.App = app
+	c, err := rt.Create(sp, sw, netsim.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Start() // idempotent
+	if started != 1 || c.State() != StateRunning {
+		t.Fatalf("started=%d state=%v", started, c.State())
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	if stopped != 1 || c.State() != StateStopped {
+		t.Fatalf("stopped=%d state=%v", stopped, c.State())
+	}
+	c.Start()
+	if c.Restarts() != 1 {
+		t.Fatalf("Restarts() = %d, want 1", c.Restarts())
+	}
+}
+
+func TestStopCutsNetwork(t *testing.T) {
+	s, rt, sw := testRuntime(t)
+	a, err := rt.Create(spec("a", 1), sw, netsim.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rt.Create(spec("b", 2), sw, netsim.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	b.Start()
+	got := 0
+	if _, err := b.Host().ListenUDP(9, func(packet.Addr, uint16, []byte) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	sock, err := a.Host().ListenUDP(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock.SendTo(b.Addr(), 9, []byte("1"))
+	s.Drain()
+	if got != 1 {
+		t.Fatalf("pre-stop delivery = %d", got)
+	}
+	b.Stop()
+	sock.SendTo(b.Addr(), 9, []byte("2"))
+	s.Drain()
+	if got != 1 {
+		t.Fatal("stopped container still received traffic")
+	}
+	b.Start()
+	sock.SendTo(b.Addr(), 9, []byte("3"))
+	s.Drain()
+	if got != 2 {
+		t.Fatal("restarted container unreachable")
+	}
+}
+
+func TestCPUAccounting(t *testing.T) {
+	_, rt, sw := testRuntime(t)
+	c, err := rt.Create(spec("cpu", 4), sw, netsim.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddCPU(30 * time.Millisecond)
+	c.AddCPU(20 * time.Millisecond)
+	c.AddCPU(-5 * time.Millisecond) // negative ignored
+	if got := c.CPUTime(); got != 50*time.Millisecond {
+		t.Fatalf("CPUTime = %v", got)
+	}
+	done := c.MeterCPU()
+	busyWait(2 * time.Millisecond)
+	done()
+	if c.CPUTime() < 52*time.Millisecond {
+		t.Fatalf("MeterCPU attributed too little: %v", c.CPUTime())
+	}
+}
+
+func busyWait(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}
+
+func TestMemAccounting(t *testing.T) {
+	_, rt, sw := testRuntime(t)
+	c, err := rt.Create(spec("mem", 5), sw, netsim.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetMem("model", 700<<10)
+	c.SetMem("buffer", 100<<10)
+	if got := c.MemBytes(); got != 800<<10 {
+		t.Fatalf("MemBytes = %d", got)
+	}
+	c.SetMem("buffer", 50<<10)
+	if got := c.MemBytes(); got != 750<<10 {
+		t.Fatalf("MemBytes after shrink = %d", got)
+	}
+	if got := c.MemPeakBytes(); got != 800<<10 {
+		t.Fatalf("MemPeakBytes = %d", got)
+	}
+	c.SetMem("model", 0)
+	if got := c.MemBytes(); got != 50<<10 {
+		t.Fatalf("MemBytes after release = %d", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{
+		StateCreated: "created", StateRunning: "running", StateStopped: "stopped",
+	} {
+		if st.String() != want {
+			t.Fatalf("%v", st)
+		}
+	}
+}

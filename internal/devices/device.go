@@ -1,0 +1,225 @@
+package devices
+
+import (
+	"time"
+
+	"ddoshield/internal/apps/ftpapp"
+	"ddoshield/internal/apps/httpapp"
+	"ddoshield/internal/apps/rtmpapp"
+	"ddoshield/internal/botnet"
+	"ddoshield/internal/container"
+	"ddoshield/internal/netstack"
+	"ddoshield/internal/packet"
+)
+
+// Profile describes a class of IoT device: its factory telnet credential
+// (drawn from the Mirai dictionary for vulnerable classes, empty for
+// hardened ones) and the benign workloads it runs against the TServer.
+type Profile struct {
+	// Kind is a human-readable class name ("ip-camera", ...).
+	Kind string
+	// Cred is the factory telnet credential; a zero value hardens the
+	// device against dictionary attack.
+	Cred botnet.Credential
+	// HTTP, Video, FTP enable the corresponding client workloads.
+	HTTP  bool
+	Video bool
+	FTP   bool
+	// ThinkScale stretches (>1) or compresses (<1) client think times,
+	// differentiating chatty devices from quiet ones. Zero means 1.
+	ThinkScale float64
+}
+
+// Built-in profiles modeled on the device classes Mirai notoriously
+// conscripted (cameras, DVRs) plus benign-only classes.
+var (
+	// ProfileIPCamera is a vulnerable camera that watches video streams
+	// and fetches firmware/config over HTTP.
+	ProfileIPCamera = Profile{
+		Kind: "ip-camera", Cred: botnet.Credential{User: "root", Pass: "xc3511"},
+		HTTP: true, Video: true,
+	}
+	// ProfileDVR is a vulnerable DVR doing video and FTP.
+	ProfileDVR = Profile{
+		Kind: "dvr", Cred: botnet.Credential{User: "root", Pass: "vizxv"},
+		Video: true, FTP: true,
+	}
+	// ProfileRouter is a vulnerable home router with light HTTP chatter.
+	ProfileRouter = Profile{
+		Kind: "router", Cred: botnet.Credential{User: "admin", Pass: "admin"},
+		HTTP: true, ThinkScale: 2,
+	}
+	// ProfileSensor is a hardened sensor posting small HTTP readings.
+	ProfileSensor = Profile{
+		Kind: "sensor", HTTP: true, ThinkScale: 0.5,
+	}
+	// ProfileSmartTV is a hardened TV streaming video.
+	ProfileSmartTV = Profile{
+		Kind: "smart-tv", Video: true,
+	}
+)
+
+// DefaultFleet cycles the built-in profiles: 3 of 5 classes vulnerable.
+var DefaultFleet = []Profile{
+	ProfileIPCamera, ProfileDVR, ProfileRouter, ProfileSensor, ProfileSmartTV,
+}
+
+// Config wires a Device to its environment.
+type Config struct {
+	// Name identifies the device (bot ID, container name).
+	Name string
+	// Profile selects class behaviour.
+	Profile Profile
+	// TServer is the benign target server's address.
+	TServer packet.Addr
+	// SpoofRange is handed to the bot for flood source forging.
+	SpoofRange packet.Prefix
+	// Seed drives the device's workloads.
+	Seed int64
+	// MeanThink is the base think time between benign requests
+	// (default 5 s, scaled by the profile's ThinkScale).
+	MeanThink time.Duration
+}
+
+// Device is one Dev: telnet service + benign clients + (after infection) a
+// bot. It implements container.App.
+type Device struct {
+	cfg    Config
+	telnet *TelnetService
+	http   *httpapp.Client
+	video  *rtmpapp.Client
+	ftp    *ftpapp.Client
+	bot    *botnet.Bot
+	host   *netstack.Host
+
+	infections uint64
+	running    bool
+}
+
+var _ container.App = (*Device)(nil)
+
+// New returns an unstarted device.
+func New(cfg Config) *Device {
+	if cfg.MeanThink <= 0 {
+		cfg.MeanThink = 5 * time.Second
+	}
+	return &Device{cfg: cfg}
+}
+
+// Start implements container.App: it brings up the telnet service and the
+// profile's benign clients. A restarted device is clean (no bot).
+func (d *Device) Start(c *container.Container) {
+	d.StartOn(c.Host())
+}
+
+// StartOn brings the device up on an arbitrary host (tests use this
+// without a container runtime).
+func (d *Device) StartOn(h *netstack.Host) {
+	if d.running {
+		return
+	}
+	d.running = true
+	d.host = h
+	p := d.cfg.Profile
+	d.telnet = NewTelnetService(p.Cred.User, p.Cred.Pass)
+	d.telnet.OnInstall = d.install
+	// Port 23 is bound fresh each start; errors only occur on double start.
+	_ = d.telnet.Attach(h)
+	think := d.cfg.MeanThink
+	if p.ThinkScale > 0 {
+		think = time.Duration(float64(think) * p.ThinkScale)
+	}
+	if p.HTTP {
+		d.http = httpapp.NewClient(d.cfg.TServer, 0, think, d.cfg.Seed+1)
+		d.http.Attach(h)
+	}
+	if p.Video {
+		d.video = rtmpapp.NewClient(d.cfg.TServer, 0, 2*think, d.cfg.Seed+2)
+		d.video.Attach(h)
+	}
+	if p.FTP {
+		d.ftp = ftpapp.NewClient(d.cfg.TServer, 0, "anonymous", "iot@dev", 3*think, d.cfg.Seed+3)
+		d.ftp.Attach(h)
+	}
+}
+
+// Stop implements container.App: everything is torn down, including any
+// implant — Mirai does not survive a reboot.
+func (d *Device) Stop() {
+	if !d.running {
+		return
+	}
+	d.running = false
+	if d.bot != nil {
+		d.bot.Detach()
+		d.bot = nil
+	}
+	if d.telnet != nil {
+		d.telnet.Detach()
+		d.telnet = nil
+	}
+	if d.http != nil {
+		d.http.Detach()
+		d.http = nil
+	}
+	if d.video != nil {
+		d.video.Detach()
+		d.video = nil
+	}
+	if d.ftp != nil {
+		d.ftp.Detach()
+		d.ftp = nil
+	}
+}
+
+// install plants (or restarts) the bot; invoked by the telnet INSTALL
+// command the loader issues.
+func (d *Device) install(c2 packet.Addr, port uint16) {
+	if !d.running {
+		return
+	}
+	if d.bot != nil {
+		d.bot.Detach()
+	}
+	d.infections++
+	d.bot = botnet.NewBot(d.cfg.Name, c2, port, d.cfg.SpoofRange, d.cfg.Seed+9)
+	d.bot.Attach(d.host)
+}
+
+// Infected reports whether a bot is currently planted.
+func (d *Device) Infected() bool { return d.bot != nil }
+
+// Bot exposes the implant for inspection (nil when clean).
+func (d *Device) Bot() *botnet.Bot { return d.bot }
+
+// Infections reports how many times the device has been (re)infected.
+func (d *Device) Infections() uint64 { return d.infections }
+
+// Telnet exposes the telnet service (nil when stopped).
+func (d *Device) Telnet() *TelnetService { return d.telnet }
+
+// Profile reports the device's profile.
+func (d *Device) Profile() Profile { return d.cfg.Profile }
+
+// Vulnerable reports whether the profile carries a factory credential.
+func (d *Device) Vulnerable() bool { return d.cfg.Profile.Cred.User != "" }
+
+// BenignStats aggregates the benign clients' request/transfer counters.
+func (d *Device) BenignStats() (started, completed uint64) {
+	if d.http != nil {
+		f, c, _, _ := d.http.Stats()
+		started += f
+		completed += c
+	}
+	if d.video != nil {
+		p, fin, _ := d.video.Stats()
+		started += p
+		completed += fin
+	}
+	if d.ftp != nil {
+		s, c, _, _ := d.ftp.Stats()
+		started += s
+		completed += c
+	}
+	return started, completed
+}

@@ -1,0 +1,128 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ddoshield/internal/packet"
+	"ddoshield/internal/sim"
+)
+
+// arbitraryBasic derives a deterministic Basic from fuzz inputs.
+func arbitraryBasic(i int, src uint32, sp, dp uint16, length uint16, flags uint8, proto bool) Basic {
+	p := packet.ProtoTCP
+	if proto {
+		p = packet.ProtoUDP
+		flags = 0
+	}
+	return Basic{
+		Time:    sim.Time(i) * sim.Millisecond,
+		Src:     packet.AddrFromUint32(src),
+		Dst:     packet.AddrFrom4(10, 0, 1, 1),
+		Proto:   p,
+		SrcPort: sp,
+		DstPort: dp,
+		Length:  int(length%1500) + packet.EthernetHeaderLen,
+		Flags:   flags,
+		Seq:     src * 2654435761,
+	}
+}
+
+// Property: window statistics respect their structural invariants for any
+// packet mix.
+func TestStatsInvariantsProperty(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 400 {
+			seeds = seeds[:400]
+		}
+		pkts := make([]Basic, len(seeds))
+		for i, s := range seeds {
+			pkts[i] = arbitraryBasic(i, s, uint16(s), uint16(s>>8), uint16(s>>4), uint8(s>>24), s%3 == 0)
+		}
+		st := ComputeStats(pkts)
+		n := len(pkts)
+		switch {
+		case st.PacketCount != n:
+			return false
+		case st.ByteCount <= 0:
+			return false
+		case math.Abs(st.MeanPacketLen-float64(st.ByteCount)/float64(n)) > 1e-9:
+			return false
+		case st.DstPortEntropy < 0 || st.DstPortEntropy > math.Log2(float64(n))+1e-9:
+			return false
+		case st.SrcAddrEntropy < 0 || st.SrcAddrEntropy > math.Log2(float64(n))+1e-9:
+			return false
+		case st.UniqueDstPorts < 1 || st.UniqueDstPorts > n:
+			return false
+		case st.UniqueSrcs < 1 || st.UniqueSrcs > n:
+			return false
+		case st.SynCount < 0 || st.SynCount+st.SynAckCount > n:
+			return false
+		case st.SynNoAckRatio < 0:
+			return false
+		case st.ShortLivedConns < 0 || st.ShortLivedConns > st.FlowCount:
+			return false
+		case st.FlowCount < 1 || st.FlowCount > n:
+			return false
+		case st.SeqStd < 0 || st.SeqStd > 0.5+1e-9:
+			return false
+		case st.UDPFraction < 0 || st.UDPFraction > 1:
+			return false
+		case st.MeanInterarrival < 0:
+			return false
+		}
+		// The aggregated vector must be NaN/Inf-free.
+		v := AppendVector(nil, &pkts[0], &st)
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the extractor partitions any monotone packet stream — every
+// packet lands in exactly one window, and windows never mix boundaries.
+func TestExtractorPartitionProperty(t *testing.T) {
+	f := func(gaps []uint16) bool {
+		if len(gaps) == 0 {
+			return true
+		}
+		var total int
+		var windows []*Window
+		e := NewExtractor(0, func(w *Window) {
+			windows = append(windows, w)
+			total += len(w.Packets)
+		})
+		now := sim.Time(0)
+		for i, g := range gaps {
+			now += sim.Time(g) * sim.Millisecond
+			b := arbitraryBasic(i, uint32(i), 1, 2, 100, 0, false)
+			b.Time = now
+			e.Add(b)
+		}
+		e.Flush()
+		if total != len(gaps) {
+			return false
+		}
+		for _, w := range windows {
+			for _, p := range w.Packets {
+				if p.Time < w.Start || p.Time >= w.Start+sim.Second {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package fl
+
+import (
+	"testing"
+
+	"ddoshield/internal/dataset"
+	"ddoshield/internal/ml/mltest"
+	"ddoshield/internal/sim"
+)
+
+// corpus builds a labeled dataset from the shared blob generator.
+func corpus(n int, seed int64) *dataset.Dataset {
+	xs, ys := mltest.Blobs(n, 16, 2, seed)
+	ds := dataset.New(make([]string, 16))
+	for i := range ds.Names {
+		ds.Names[i] = "f"
+	}
+	for i := range xs {
+		ds.Add(xs[i], ys[i])
+	}
+	return ds
+}
+
+func TestFedAvgLearnsAcrossClients(t *testing.T) {
+	ds := corpus(1200, 1)
+	rng := sim.NewRNG(1)
+	shards := Partition(ds, 4, false, rng)
+	res, err := Train(Config{Rounds: 4, LocalEpochs: 2, Seed: 1}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testX, testY := mltest.Blobs(400, 16, 2, 2)
+	if acc := mltest.Accuracy(res.Global.Predict, testX, testY); acc < 0.9 {
+		t.Fatalf("federated accuracy = %.3f", acc)
+	}
+	if len(res.Rounds) != 4 {
+		t.Fatalf("rounds = %d", len(res.Rounds))
+	}
+	for _, r := range res.Rounds {
+		if r.Participants != 4 {
+			t.Fatalf("round %d participants = %d", r.Round, r.Participants)
+		}
+		if r.EnergyJoules <= 0 {
+			t.Fatalf("round %d energy = %v", r.Round, r.EnergyJoules)
+		}
+	}
+	if res.TotalEnergyJoules <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestFedAvgNonIIDStillLearns(t *testing.T) {
+	ds := corpus(1600, 3)
+	rng := sim.NewRNG(3)
+	shards := Partition(ds, 4, true, rng)
+	// Non-IID: shard balances must differ materially.
+	ratios := make([]float64, len(shards))
+	for i, sh := range shards {
+		sum := sh.Summarize()
+		if sum.Total == 0 {
+			t.Fatalf("shard %d empty", i)
+		}
+		ratios[i] = float64(sum.Malicious) / float64(sum.Total)
+	}
+	spread := 0.0
+	for _, r := range ratios {
+		for _, r2 := range ratios {
+			if d := r - r2; d > spread {
+				spread = d
+			}
+		}
+	}
+	if spread < 0.3 {
+		t.Fatalf("label skew too weak: ratios %v", ratios)
+	}
+	res, err := Train(Config{Rounds: 6, LocalEpochs: 2, Seed: 3}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testX, testY := mltest.Blobs(400, 16, 2, 4)
+	if acc := mltest.Accuracy(res.Global.Predict, testX, testY); acc < 0.85 {
+		t.Fatalf("non-IID federated accuracy = %.3f", acc)
+	}
+}
+
+func TestClientFractionSampling(t *testing.T) {
+	ds := corpus(800, 5)
+	rng := sim.NewRNG(5)
+	shards := Partition(ds, 8, false, rng)
+	res, err := Train(Config{Rounds: 3, LocalEpochs: 1, ClientFraction: 0.5, Seed: 5}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rounds {
+		if r.Participants != 4 {
+			t.Fatalf("round %d participants = %d, want 4 of 8", r.Round, r.Participants)
+		}
+	}
+}
+
+func TestTrainRejectsEmpty(t *testing.T) {
+	if _, err := Train(Config{}, nil); err == nil {
+		t.Fatal("accepted no shards")
+	}
+	empty := []*dataset.Dataset{dataset.New([]string{"a"})}
+	if _, err := Train(Config{}, empty); err == nil {
+		t.Fatal("accepted all-empty shards")
+	}
+}
+
+func TestPartitionSingleShard(t *testing.T) {
+	ds := corpus(100, 7)
+	shards := Partition(ds, 1, true, sim.NewRNG(7))
+	if len(shards) != 1 || shards[0].Len() != 100 {
+		t.Fatalf("single-shard partition broken: %d shards", len(shards))
+	}
+}
+
+func TestPartitionPreservesSamples(t *testing.T) {
+	ds := corpus(999, 8)
+	shards := Partition(ds, 5, true, sim.NewRNG(8))
+	total := 0
+	for _, sh := range shards {
+		total += sh.Len()
+	}
+	if total != 999 {
+		t.Fatalf("partition lost samples: %d of 999", total)
+	}
+}

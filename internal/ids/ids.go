@@ -1,0 +1,260 @@
+// Package ids implements the Real-Time IDS Unit of Fig. 2: a passive
+// monitor taps the simulated network, a preprocessing stage aggregates
+// basic and statistical features over user-configurable time windows (1 s
+// in the paper's experiments), and a pluggable ML model classifies every
+// packet of each closed window as benign or malicious. Per-window accuracy
+// is recorded against the testbed's ground-truth oracle, exactly as §IV-D
+// evaluates the three models — and only accuracy, since single-class
+// windows make precision/recall undefined in real time.
+package ids
+
+import (
+	"time"
+
+	"ddoshield/internal/dataset"
+	"ddoshield/internal/features"
+	"ddoshield/internal/ml"
+	"ddoshield/internal/ml/metrics"
+	"ddoshield/internal/netsim"
+	"ddoshield/internal/packet"
+	"ddoshield/internal/sim"
+)
+
+// Labeler is the ground-truth oracle: it maps a packet to dataset.Benign
+// or dataset.Malicious. The testbed supplies one built from its knowledge
+// of the botnet's addresses and spoof ranges.
+type Labeler func(b *features.Basic) int
+
+// Meter receives CPU attributions (container.Container satisfies it).
+type Meter interface {
+	AddCPU(d time.Duration)
+}
+
+// Config assembles a detection unit.
+type Config struct {
+	// Model is the trained classifier (required for detection; a nil
+	// model records windows without predictions).
+	Model ml.Classifier
+	// Scaler, when set, standardizes vectors before prediction with the
+	// training-time statistics.
+	Scaler *dataset.StandardScaler
+	// Window is the aggregation window (default 1 s).
+	Window time.Duration
+	// Labeler provides ground truth for accuracy scoring (optional).
+	Labeler Labeler
+	// Meter, when set, additionally receives CPU attributions (e.g. the
+	// IDS container).
+	Meter Meter
+	// OnWindow, when set, receives every closed window's result as soon as
+	// it is scored — the hook automated responses (mitigation) attach to.
+	OnWindow func(r *WindowResult)
+}
+
+// WindowResult is the detection outcome for one closed window.
+type WindowResult struct {
+	// Start is the window's opening instant.
+	Start sim.Time
+	// Packets is the number of classified packets.
+	Packets int
+	// PredMalicious and TruthMalicious count packets per class.
+	PredMalicious  int
+	TruthMalicious int
+	// Correct counts packets whose prediction matched ground truth.
+	Correct int
+	// Accuracy is Correct/Packets (0 when no labeler is configured).
+	Accuracy float64
+	// Alert reports whether the majority of packets were classified
+	// malicious — the unit's per-window verdict.
+	Alert bool
+	// FlaggedSrcs are the distinct source addresses of packets the model
+	// classified malicious in this window (response actions target them).
+	FlaggedSrcs []packet.Addr
+	// CPU is the compute time spent processing this window.
+	CPU time.Duration
+}
+
+// Unit is the real-time detection pipeline.
+type Unit struct {
+	cfg       Config
+	extractor *features.Extractor
+	results   []WindowResult
+	confusion metrics.Confusion
+
+	cpu      time.Duration
+	peakMem  int64
+	vecBuf   []float64
+	packets  uint64
+	detached bool
+}
+
+// New assembles a unit.
+func New(cfg Config) *Unit {
+	u := &Unit{cfg: cfg}
+	u.extractor = features.NewExtractor(cfg.Window, u.onWindow)
+	return u
+}
+
+// Tap returns a netsim.Tap that feeds the unit — attach it to the switch
+// (span port) or to the TServer's link, as Fig. 1 places the IDS.
+func (u *Unit) Tap() netsim.Tap {
+	return func(t sim.Time, raw []byte) {
+		if u.detached {
+			return
+		}
+		start := time.Now()
+		if p, err := packet.Decode(t, raw); err == nil {
+			u.extractor.AddPacket(p)
+		}
+		u.addCPU(time.Since(start))
+	}
+}
+
+// Feed classifies an already-dissected packet (offline replay path).
+func (u *Unit) Feed(p *packet.Packet) {
+	start := time.Now()
+	u.extractor.AddPacket(p)
+	u.addCPU(time.Since(start))
+}
+
+// Flush closes the trailing window. Call at end of run.
+func (u *Unit) Flush() {
+	start := time.Now()
+	u.extractor.Flush()
+	u.addCPU(time.Since(start))
+}
+
+// Detach stops consuming tapped traffic.
+func (u *Unit) Detach() { u.detached = true }
+
+func (u *Unit) addCPU(d time.Duration) {
+	u.cpu += d
+	if u.cfg.Meter != nil {
+		u.cfg.Meter.AddCPU(d)
+	}
+}
+
+// onWindow runs preprocessing + detection for one closed window.
+func (u *Unit) onWindow(w *features.Window) {
+	start := time.Now()
+	res := WindowResult{Start: w.Start, Packets: len(w.Packets)}
+	// Track the window buffer high-water mark for the memory report.
+	if mem := u.liveMem(len(w.Packets)); mem > u.peakMem {
+		u.peakMem = mem
+	}
+	var flagged map[packet.Addr]bool
+	for i := range w.Packets {
+		b := &w.Packets[i]
+		u.packets++
+		truth := -1
+		if u.cfg.Labeler != nil {
+			truth = u.cfg.Labeler(b)
+			if truth == dataset.Malicious {
+				res.TruthMalicious++
+			}
+		}
+		if u.cfg.Model == nil {
+			continue
+		}
+		u.vecBuf = features.AppendVector(u.vecBuf[:0], b, &w.Stats)
+		if u.cfg.Scaler != nil {
+			u.cfg.Scaler.Transform(u.vecBuf)
+		}
+		pred := u.cfg.Model.Predict(u.vecBuf)
+		if pred == dataset.Malicious {
+			res.PredMalicious++
+			if flagged == nil {
+				flagged = make(map[packet.Addr]bool)
+			}
+			if !flagged[b.Src] {
+				flagged[b.Src] = true
+				res.FlaggedSrcs = append(res.FlaggedSrcs, b.Src)
+			}
+		}
+		if truth >= 0 {
+			if pred == truth {
+				res.Correct++
+			}
+			u.confusion.Add(truth, pred)
+		}
+	}
+	if res.Packets > 0 {
+		res.Accuracy = float64(res.Correct) / float64(res.Packets)
+		res.Alert = res.PredMalicious*2 > res.Packets
+	}
+	res.CPU = time.Since(start)
+	u.addCPU(res.CPU)
+	u.results = append(u.results, res)
+	if u.cfg.OnWindow != nil {
+		u.cfg.OnWindow(&u.results[len(u.results)-1])
+	}
+}
+
+// liveMem estimates current memory held by the unit: the model, the scaler
+// and the window buffer.
+func (u *Unit) liveMem(windowPackets int) int64 {
+	var mem int64
+	if mr, ok := u.cfg.Model.(interface{ MemoryBytes() int64 }); ok {
+		mem += mr.MemoryBytes()
+	}
+	if u.cfg.Scaler != nil {
+		mem += int64(len(u.cfg.Scaler.Mean)+len(u.cfg.Scaler.Std)) * 8
+	}
+	mem += int64(windowPackets) * 40 // features.Basic footprint
+	mem += int64(cap(u.vecBuf)) * 8
+	return mem
+}
+
+// Results returns the per-window detection timeline.
+func (u *Unit) Results() []WindowResult {
+	out := make([]WindowResult, len(u.results))
+	copy(out, u.results)
+	return out
+}
+
+// AverageAccuracy is the mean per-window accuracy — the quantity Table I
+// reports for each model.
+func (u *Unit) AverageAccuracy() float64 {
+	if len(u.results) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range u.results {
+		s += u.results[i].Accuracy
+	}
+	return s / float64(len(u.results))
+}
+
+// MinAccuracy is the worst single-window accuracy — the per-second dip the
+// paper reports at attack boundaries (35% minimum for K-Means).
+func (u *Unit) MinAccuracy() float64 {
+	if len(u.results) == 0 {
+		return 0
+	}
+	m := u.results[0].Accuracy
+	for i := range u.results {
+		if u.results[i].Accuracy < m {
+			m = u.results[i].Accuracy
+		}
+	}
+	return m
+}
+
+// Confusion returns the packet-level confusion matrix across all windows.
+func (u *Unit) Confusion() metrics.Confusion { return u.confusion }
+
+// PacketsSeen reports total classified packets.
+func (u *Unit) PacketsSeen() uint64 { return u.packets }
+
+// CPUTime implements sysmon.Metered: cumulative processing time.
+func (u *Unit) CPUTime() time.Duration { return u.cpu }
+
+// MemBytes implements sysmon.Metered: the peak live footprint observed.
+func (u *Unit) MemBytes() int64 {
+	if u.peakMem == 0 {
+		return u.liveMem(0)
+	}
+	return u.peakMem
+}
+
+// WindowSize reports the configured aggregation window.
+func (u *Unit) WindowSize() time.Duration { return u.extractor.WindowSize() }

@@ -1,0 +1,105 @@
+package cnn
+
+// Clone returns a deep copy of the network (weights and geometry). The
+// federated-learning emulation clones the global model out to each client
+// every round.
+func (n *Network) Clone() *Network {
+	c := &Network{Cfg: n.Cfg}
+	c.geometry()
+	c.W1 = cloneMat(n.W1)
+	c.B1 = cloneVec(n.B1)
+	c.W2 = cloneMat(n.W2)
+	c.B2 = cloneVec(n.B2)
+	c.W3 = cloneMat(n.W3)
+	c.B3 = cloneVec(n.B3)
+	c.W4 = cloneMat(n.W4)
+	c.B4 = cloneVec(n.B4)
+	return c
+}
+
+// SetWeightsFrom copies another network's weights into n (shapes must
+// match; the federated server uses it to install the aggregated model).
+func (n *Network) SetWeightsFrom(o *Network) {
+	copyMat(n.W1, o.W1)
+	copy(n.B1, o.B1)
+	copyMat(n.W2, o.W2)
+	copy(n.B2, o.B2)
+	copyMat(n.W3, o.W3)
+	copy(n.B3, o.B3)
+	copyMat(n.W4, o.W4)
+	copy(n.B4, o.B4)
+}
+
+// ScaleAccumulate adds scale*o's weights into n's weights — the FedAvg
+// accumulation primitive. Call on a zeroed network.
+func (n *Network) ScaleAccumulate(o *Network, scale float64) {
+	accMat(n.W1, o.W1, scale)
+	accVec(n.B1, o.B1, scale)
+	accMat(n.W2, o.W2, scale)
+	accVec(n.B2, o.B2, scale)
+	accMat(n.W3, o.W3, scale)
+	accVec(n.B3, o.B3, scale)
+	accMat(n.W4, o.W4, scale)
+	accVec(n.B4, o.B4, scale)
+}
+
+// ZeroWeights clears all weights (aggregation accumulator reset).
+func (n *Network) ZeroWeights() {
+	zeroMat(n.W1)
+	zeroVec(n.B1)
+	zeroMat(n.W2)
+	zeroVec(n.B2)
+	zeroMat(n.W3)
+	zeroVec(n.B3)
+	zeroMat(n.W4)
+	zeroVec(n.B4)
+}
+
+func cloneMat(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i := range m {
+		out[i] = make([]float64, len(m[i]))
+		copy(out[i], m[i])
+	}
+	return out
+}
+
+func cloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+func copyMat(dst, src [][]float64) {
+	for i := range dst {
+		copy(dst[i], src[i])
+	}
+}
+
+func accMat(dst, src [][]float64, scale float64) {
+	for i := range dst {
+		for j := range dst[i] {
+			dst[i][j] += scale * src[i][j]
+		}
+	}
+}
+
+func accVec(dst, src []float64, scale float64) {
+	for i := range dst {
+		dst[i] += scale * src[i]
+	}
+}
+
+func zeroMat(m [][]float64) {
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] = 0
+		}
+	}
+}
+
+func zeroVec(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}

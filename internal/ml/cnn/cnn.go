@@ -1,0 +1,343 @@
+// Package cnn implements the paper's third detector: a one-dimensional
+// convolutional neural network over the aggregated feature vector, with
+// convolution, ReLU, max-pooling, dense layers and a softmax head, trained
+// by mini-batch SGD with momentum on cross-entropy loss — the pure-Go
+// stand-in for the TensorFlow model of §III-B.
+package cnn
+
+import (
+	"fmt"
+	"math"
+
+	"ddoshield/internal/sim"
+)
+
+// Config describes the architecture and the training schedule.
+type Config struct {
+	// Inputs is the feature-vector length (required).
+	Inputs int
+	// Conv1Filters/Conv2Filters size the two conv blocks (defaults 16/32).
+	Conv1Filters int
+	Conv2Filters int
+	// Kernel is the 1-D convolution width (default 3).
+	Kernel int
+	// Hidden is the dense layer width (default 64).
+	Hidden int
+	// Classes is the output width (default 2).
+	Classes int
+	// Epochs, BatchSize, LearningRate, Momentum drive SGD
+	// (defaults 10, 64, 0.01, 0.9).
+	Epochs       int
+	BatchSize    int
+	LearningRate float64
+	Momentum     float64
+	// Seed drives weight initialization and batch shuffling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Conv1Filters <= 0 {
+		c.Conv1Filters = 16
+	}
+	if c.Conv2Filters <= 0 {
+		c.Conv2Filters = 32
+	}
+	if c.Kernel <= 0 {
+		c.Kernel = 3
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = 64
+	}
+	if c.Classes <= 0 {
+		c.Classes = 2
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 10
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.01
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 {
+		c.Momentum = 0.9
+	}
+	return c
+}
+
+// Network is the trained model. Weight tensors are exported for gob
+// serialization; layout is documented per field.
+type Network struct {
+	Cfg Config
+	// W1 [f1][kernel], B1 [f1]: conv1 over the single input channel.
+	W1 [][]float64
+	B1 []float64
+	// W2 [f2][f1*kernel], B2 [f2]: conv2 over f1 channels.
+	W2 [][]float64
+	B2 []float64
+	// W3 [hidden][flat], B3 [hidden]: dense layer.
+	W3 [][]float64
+	B3 []float64
+	// W4 [classes][hidden], B4 [classes]: output layer.
+	W4 [][]float64
+	B4 []float64
+
+	// Geometry, precomputed at construction.
+	len1, pool1, len2, pool2, flat int
+	// scratch is the reused inference buffer (the simulation is
+	// single-threaded, so one buffer suffices).
+	scratch activations
+}
+
+// Name implements ml.Classifier.
+func (n *Network) Name() string { return "cnn" }
+
+// New builds an untrained network with small random weights.
+func New(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Inputs <= 0 {
+		return nil, fmt.Errorf("cnn: Inputs required")
+	}
+	n := &Network{Cfg: cfg}
+	n.geometry()
+	if n.pool2 < 1 {
+		return nil, fmt.Errorf("cnn: input length %d too short for architecture", cfg.Inputs)
+	}
+	rng := sim.Substream(cfg.Seed, "cnn")
+	he := func(fanIn int) float64 { return math.Sqrt(2 / float64(fanIn)) }
+	mat := func(rows, cols int, scale float64) [][]float64 {
+		m := make([][]float64, rows)
+		for i := range m {
+			m[i] = make([]float64, cols)
+			for j := range m[i] {
+				m[i][j] = rng.NormFloat64() * scale
+			}
+		}
+		return m
+	}
+	n.W1 = mat(cfg.Conv1Filters, cfg.Kernel, he(cfg.Kernel))
+	n.B1 = make([]float64, cfg.Conv1Filters)
+	n.W2 = mat(cfg.Conv2Filters, cfg.Conv1Filters*cfg.Kernel, he(cfg.Conv1Filters*cfg.Kernel))
+	n.B2 = make([]float64, cfg.Conv2Filters)
+	n.W3 = mat(cfg.Hidden, n.flat, he(n.flat))
+	n.B3 = make([]float64, cfg.Hidden)
+	n.W4 = mat(cfg.Classes, cfg.Hidden, he(cfg.Hidden))
+	n.B4 = make([]float64, cfg.Classes)
+	return n, nil
+}
+
+// geometry derives layer lengths from the config.
+func (n *Network) geometry() {
+	c := n.Cfg
+	n.len1 = c.Inputs - c.Kernel + 1
+	n.pool1 = n.len1 / 2
+	n.len2 = n.pool1 - c.Kernel + 1
+	n.pool2 = n.len2 / 2
+	n.flat = n.pool2 * c.Conv2Filters
+}
+
+// NumParams counts trainable parameters.
+func (n *Network) NumParams() int {
+	count := func(m [][]float64) int {
+		t := 0
+		for _, r := range m {
+			t += len(r)
+		}
+		return t
+	}
+	return count(n.W1) + len(n.B1) + count(n.W2) + len(n.B2) +
+		count(n.W3) + len(n.B3) + count(n.W4) + len(n.B4)
+}
+
+// InferenceBatch is the batch width assumed for the live-memory estimate:
+// production inference engines (the paper's TensorFlow runtime included)
+// hold activation tensors for a whole batch at once.
+const InferenceBatch = 64
+
+// MemoryBytes estimates the live inference footprint: parameters plus the
+// activation tensors of one inference batch — the reason the CNN is the
+// heaviest model in Table II.
+func (n *Network) MemoryBytes() int64 {
+	params := int64(n.NumParams()) * 8
+	acts := int64(n.Cfg.Conv1Filters*(n.len1+n.pool1)+
+		n.Cfg.Conv2Filters*(n.len2+n.pool2)+
+		n.flat+n.Cfg.Hidden+n.Cfg.Classes) * 8
+	return params + acts*InferenceBatch + 256
+}
+
+// activations holds one forward pass (retained for backprop).
+type activations struct {
+	in    []float64
+	conv1 [][]float64 // [f1][len1] post-ReLU
+	pool1 [][]float64 // [f1][pool1]
+	arg1  [][]int     // argmax indices for pool1
+	conv2 [][]float64 // [f2][len2] post-ReLU
+	pool2 [][]float64 // [f2][pool2]
+	arg2  [][]int
+	flat  []float64
+	hid   []float64 // post-ReLU
+	out   []float64 // logits
+	prob  []float64 // softmax
+}
+
+func relu(v float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return 0
+}
+
+func (n *Network) forward(x []float64, a *activations) {
+	c := n.Cfg
+	a.in = x
+	// conv1: single input channel.
+	a.conv1 = grow2(a.conv1, c.Conv1Filters, n.len1)
+	for f := 0; f < c.Conv1Filters; f++ {
+		w := n.W1[f]
+		for i := 0; i < n.len1; i++ {
+			s := n.B1[f]
+			for k := 0; k < c.Kernel; k++ {
+				s += w[k] * x[i+k]
+			}
+			a.conv1[f][i] = relu(s)
+		}
+	}
+	a.pool1, a.arg1 = maxpool(a.conv1, a.pool1, a.arg1, n.pool1)
+	// conv2: over f1 channels.
+	a.conv2 = grow2(a.conv2, c.Conv2Filters, n.len2)
+	for f := 0; f < c.Conv2Filters; f++ {
+		w := n.W2[f]
+		for i := 0; i < n.len2; i++ {
+			s := n.B2[f]
+			wi := 0
+			for ch := 0; ch < c.Conv1Filters; ch++ {
+				row := a.pool1[ch]
+				for k := 0; k < c.Kernel; k++ {
+					s += w[wi] * row[i+k]
+					wi++
+				}
+			}
+			a.conv2[f][i] = relu(s)
+		}
+	}
+	a.pool2, a.arg2 = maxpool(a.conv2, a.pool2, a.arg2, n.pool2)
+	// flatten.
+	if cap(a.flat) < n.flat {
+		a.flat = make([]float64, n.flat)
+	}
+	a.flat = a.flat[:n.flat]
+	fi := 0
+	for f := 0; f < c.Conv2Filters; f++ {
+		for i := 0; i < n.pool2; i++ {
+			a.flat[fi] = a.pool2[f][i]
+			fi++
+		}
+	}
+	// dense + ReLU.
+	a.hid = growv(a.hid, c.Hidden)
+	for h := 0; h < c.Hidden; h++ {
+		s := n.B3[h]
+		w := n.W3[h]
+		for j, v := range a.flat {
+			s += w[j] * v
+		}
+		a.hid[h] = relu(s)
+	}
+	// output + softmax.
+	a.out = growv(a.out, c.Classes)
+	maxLogit := math.Inf(-1)
+	for o := 0; o < c.Classes; o++ {
+		s := n.B4[o]
+		w := n.W4[o]
+		for h, v := range a.hid {
+			s += w[h] * v
+		}
+		a.out[o] = s
+		if s > maxLogit {
+			maxLogit = s
+		}
+	}
+	a.prob = growv(a.prob, c.Classes)
+	var z float64
+	for o, s := range a.out {
+		e := math.Exp(s - maxLogit)
+		a.prob[o] = e
+		z += e
+	}
+	for o := range a.prob {
+		a.prob[o] /= z
+	}
+}
+
+func grow2(m [][]float64, rows, cols int) [][]float64 {
+	if len(m) != rows {
+		m = make([][]float64, rows)
+	}
+	for i := range m {
+		if cap(m[i]) < cols {
+			m[i] = make([]float64, cols)
+		}
+		m[i] = m[i][:cols]
+	}
+	return m
+}
+
+func grow2i(m [][]int, rows, cols int) [][]int {
+	if len(m) != rows {
+		m = make([][]int, rows)
+	}
+	for i := range m {
+		if cap(m[i]) < cols {
+			m[i] = make([]int, cols)
+		}
+		m[i] = m[i][:cols]
+	}
+	return m
+}
+
+func growv(v []float64, n int) []float64 {
+	if cap(v) < n {
+		v = make([]float64, n)
+	}
+	return v[:n]
+}
+
+// maxpool performs width-2 max pooling per channel, recording argmaxes.
+func maxpool(in, out [][]float64, arg [][]int, outLen int) ([][]float64, [][]int) {
+	out = grow2(out, len(in), outLen)
+	arg = grow2i(arg, len(in), outLen)
+	for ch := range in {
+		for i := 0; i < outLen; i++ {
+			j := 2 * i
+			v, a := in[ch][j], j
+			if j+1 < len(in[ch]) && in[ch][j+1] > v {
+				v, a = in[ch][j+1], j+1
+			}
+			out[ch][i] = v
+			arg[ch][i] = a
+		}
+	}
+	return out, arg
+}
+
+// Predict returns the argmax class for x.
+func (n *Network) Predict(x []float64) int {
+	n.forward(x, &n.scratch)
+	best, bestP := 0, -1.0
+	for o, p := range n.scratch.prob {
+		if p > bestP {
+			best, bestP = o, p
+		}
+	}
+	return best
+}
+
+// Prob returns the class probability vector for x.
+func (n *Network) Prob(x []float64) []float64 {
+	var a activations
+	n.forward(x, &a)
+	out := make([]float64, len(a.prob))
+	copy(out, a.prob)
+	return out
+}

@@ -1,0 +1,188 @@
+package cnn
+
+import (
+	"math"
+	"testing"
+
+	"ddoshield/internal/ml/mltest"
+)
+
+func TestCNNLearnsBlobs(t *testing.T) {
+	xs, ys := mltest.Blobs(600, 16, 2, 1)
+	n, res, err := Train(Config{Epochs: 8, Seed: 1}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy < 0.95 {
+		t.Fatalf("train accuracy = %.3f", res.FinalAccuracy)
+	}
+	testX, testY := mltest.Blobs(200, 16, 2, 2)
+	if acc := mltest.Accuracy(n.Predict, testX, testY); acc < 0.93 {
+		t.Fatalf("test accuracy = %.3f", acc)
+	}
+}
+
+func TestLossDecreases(t *testing.T) {
+	xs, ys := mltest.Blobs(400, 16, 2, 3)
+	_, res, err := Train(Config{Epochs: 6, Seed: 3}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.EpochLoss[0], res.EpochLoss[len(res.EpochLoss)-1]
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestProbSumsToOne(t *testing.T) {
+	xs, ys := mltest.Blobs(100, 16, 2, 4)
+	n, _, err := Train(Config{Epochs: 2, Seed: 4}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := n.Prob(xs[0])
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability %v out of range", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestCNNRejectsBadInput(t *testing.T) {
+	if _, _, err := Train(Config{}, nil, nil); err == nil {
+		t.Fatal("accepted empty training set")
+	}
+	if _, _, err := Train(Config{}, [][]float64{{1, 2}}, []int{0, 1}); err == nil {
+		t.Fatal("accepted mismatched labels")
+	}
+	// Input too short for two conv+pool blocks.
+	if _, err := New(Config{Inputs: 4}); err == nil {
+		t.Fatal("accepted too-short input")
+	}
+}
+
+func TestGradientCheck(t *testing.T) {
+	// Numerical gradient check on a tiny network: backprop must match
+	// finite differences.
+	cfg := Config{Inputs: 12, Conv1Filters: 2, Conv2Filters: 2, Hidden: 4, Seed: 5}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 12)
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	y := 1
+	loss := func() float64 {
+		var a activations
+		n.forward(x, &a)
+		return -math.Log(a.prob[y] + 1e-12)
+	}
+	g := newGrads(n)
+	var a activations
+	var scratch bwScratch
+	n.forward(x, &a)
+	n.backward(&a, y, g, &scratch)
+
+	check := func(w [][]float64, gw [][]float64, name string) {
+		const eps = 1e-6
+		// Probe a few entries per tensor.
+		for _, probe := range [][2]int{{0, 0}, {1, 0}} {
+			i, j := probe[0], probe[1]
+			if i >= len(w) || j >= len(w[i]) {
+				continue
+			}
+			orig := w[i][j]
+			w[i][j] = orig + eps
+			lp := loss()
+			w[i][j] = orig - eps
+			lm := loss()
+			w[i][j] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-gw[i][j]) > 1e-4*(1+math.Abs(num)) {
+				t.Errorf("%s[%d][%d]: numerical %v vs backprop %v", name, i, j, num, gw[i][j])
+			}
+		}
+	}
+	check(n.W1, g.w1, "W1")
+	check(n.W2, g.w2, "W2")
+	check(n.W3, g.w3, "W3")
+	check(n.W4, g.w4, "W4")
+}
+
+func TestNumParamsAndMemory(t *testing.T) {
+	n, err := New(Config{Inputs: 26, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumParams() < 1000 {
+		t.Fatalf("NumParams = %d, implausibly small", n.NumParams())
+	}
+	if n.MemoryBytes() <= int64(n.NumParams())*8 {
+		t.Fatal("MemoryBytes must include activations")
+	}
+	if n.Name() != "cnn" {
+		t.Fatal("Name()")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	xs, ys := mltest.Blobs(200, 16, 2, 6)
+	n1, _, err := Train(Config{Epochs: 2, Seed: 8}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, _, err := Train(Config{Epochs: 2, Seed: 8}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.W3[0][0] != n2.W3[0][0] {
+		t.Fatal("same-seed training diverged")
+	}
+}
+
+func TestCloneAndWeightOps(t *testing.T) {
+	xs, ys := mltest.Blobs(200, 16, 2, 9)
+	n, _, err := Train(Config{Epochs: 1, Seed: 9}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := n.Clone()
+	// Clone predicts identically but is independent storage.
+	for i := 0; i < 20; i++ {
+		if clone.Predict(xs[i]) != n.Predict(xs[i]) {
+			t.Fatal("clone predictions differ")
+		}
+	}
+	clone.W1[0][0] += 100
+	if n.W1[0][0] == clone.W1[0][0] {
+		t.Fatal("clone shares weight storage")
+	}
+
+	// ScaleAccumulate of two halves reproduces the original.
+	acc := n.Clone()
+	acc.ZeroWeights()
+	acc.ScaleAccumulate(n, 0.5)
+	acc.ScaleAccumulate(n, 0.5)
+	if diff := acc.W3[1][1] - n.W3[1][1]; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("averaged weights diverge: %v", diff)
+	}
+
+	// SetWeightsFrom copies values, not references.
+	dst := n.Clone()
+	dst.ZeroWeights()
+	dst.SetWeightsFrom(n)
+	if dst.W4[0][0] != n.W4[0][0] {
+		t.Fatal("SetWeightsFrom did not copy")
+	}
+	dst.W4[0][0] += 1
+	if dst.W4[0][0] == n.W4[0][0] {
+		t.Fatal("SetWeightsFrom aliased storage")
+	}
+}

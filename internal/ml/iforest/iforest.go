@@ -1,0 +1,249 @@
+// Package iforest implements the Isolation Forest anomaly detector (Liu,
+// Ting & Zhou), the second of the §V extension models: random isolation
+// trees assign short average path lengths to outliers. For classification,
+// the anomaly-score threshold is calibrated on the labeled training set so
+// the flagged fraction matches the observed contamination.
+package iforest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ddoshield/internal/sim"
+)
+
+// Config tunes training.
+type Config struct {
+	// Trees is the ensemble size (default 100).
+	Trees int
+	// SubsampleSize is ψ, the per-tree sample size (default 256).
+	SubsampleSize int
+	// Contamination overrides the anomalous fraction used to calibrate
+	// the threshold; 0 derives it from the training labels.
+	Contamination float64
+	// Seed drives sampling and split selection.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trees <= 0 {
+		c.Trees = 100
+	}
+	if c.SubsampleSize <= 0 {
+		c.SubsampleSize = 256
+	}
+	return c
+}
+
+// Node is one isolation-tree node (exported for gob).
+type Node struct {
+	// Feature is the split feature (-1 for external nodes).
+	Feature int32
+	// Threshold splits x[Feature] < Threshold to Left, else Right.
+	Threshold   float64
+	Left, Right int32
+	// Size is the training-sample count at external nodes (for the
+	// path-length adjustment c(Size)).
+	Size int32
+}
+
+// Tree is one isolation tree.
+type Tree struct {
+	Nodes []Node
+}
+
+// Model is a trained isolation forest with a calibrated decision threshold.
+type Model struct {
+	Cfg       Config
+	TreeList  []*Tree
+	Threshold float64 // anomaly-score cut: score >= Threshold → malicious
+	subC      float64 // c(ψ), cached normalizer
+}
+
+// Name implements ml.Classifier.
+func (m *Model) Name() string { return "iforest" }
+
+// cFactor is the average unsuccessful-search path length of a BST of n
+// nodes — the normalizer from the Isolation Forest paper.
+func cFactor(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	h := math.Log(float64(n-1)) + 0.5772156649
+	return 2*h - 2*float64(n-1)/float64(n)
+}
+
+// pathLength traverses one tree.
+func (t *Tree) pathLength(x []float64) float64 {
+	var depth float64
+	i := int32(0)
+	for {
+		n := &t.Nodes[i]
+		if n.Feature < 0 {
+			return depth + cFactor(int(n.Size))
+		}
+		depth++
+		if x[n.Feature] < n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// Score returns the anomaly score in (0,1): ~1 for clear outliers, ~0.5
+// for unremarkable points.
+func (m *Model) Score(x []float64) float64 {
+	if len(m.TreeList) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range m.TreeList {
+		sum += t.pathLength(x)
+	}
+	mean := sum / float64(len(m.TreeList))
+	if m.subC == 0 {
+		m.subC = cFactor(m.Cfg.SubsampleSize)
+	}
+	return math.Pow(2, -mean/m.subC)
+}
+
+// Predict returns 1 (malicious) when the anomaly score crosses the
+// calibrated threshold.
+func (m *Model) Predict(x []float64) int {
+	if m.Score(x) >= m.Threshold {
+		return 1
+	}
+	return 0
+}
+
+// MemoryBytes reports the live model footprint.
+func (m *Model) MemoryBytes() int64 {
+	n := 0
+	for _, t := range m.TreeList {
+		n += len(t.Nodes)
+	}
+	return int64(n)*32 + int64(len(m.TreeList))*48
+}
+
+// Train fits the forest on rows xs; labels ys calibrate the threshold
+// (the isolation structure itself is unsupervised).
+func Train(cfg Config, xs [][]float64, ys []int) (*Model, error) {
+	cfg = cfg.withDefaults()
+	n := len(xs)
+	if n == 0 {
+		return nil, fmt.Errorf("iforest: empty training set")
+	}
+	if len(ys) != n {
+		return nil, fmt.Errorf("iforest: %d rows vs %d labels", n, len(ys))
+	}
+	rng := sim.Substream(cfg.Seed, "iforest")
+	psi := cfg.SubsampleSize
+	if psi > n {
+		psi = n
+	}
+	maxDepth := int(math.Ceil(math.Log2(float64(psi)))) + 1
+
+	m := &Model{Cfg: cfg}
+	for t := 0; t < cfg.Trees; t++ {
+		idx := rng.Perm(n)[:psi]
+		b := &itBuilder{xs: xs, rng: rng, maxDepth: maxDepth}
+		b.build(idx, 0)
+		m.TreeList = append(m.TreeList, &Tree{Nodes: b.nodes})
+	}
+	m.subC = cFactor(psi)
+
+	// Calibrate the threshold: flag the top contamination-fraction scores.
+	contamination := cfg.Contamination
+	if contamination <= 0 {
+		mal := 0
+		for _, y := range ys {
+			if y == 1 {
+				mal++
+			}
+		}
+		contamination = float64(mal) / float64(n)
+	}
+	if contamination <= 0 {
+		contamination = 0.01
+	}
+	sampleN := n
+	if sampleN > 5000 {
+		sampleN = 5000
+	}
+	scores := make([]float64, 0, sampleN)
+	for _, i := range rng.Perm(n)[:sampleN] {
+		scores = append(scores, m.Score(xs[i]))
+	}
+	sort.Float64s(scores)
+	cut := int(float64(len(scores)) * (1 - contamination))
+	if cut >= len(scores) {
+		cut = len(scores) - 1
+	}
+	if cut < 0 {
+		cut = 0
+	}
+	m.Threshold = scores[cut]
+	return m, nil
+}
+
+type itBuilder struct {
+	xs       [][]float64
+	rng      *sim.RNG
+	maxDepth int
+	nodes    []Node
+}
+
+func (b *itBuilder) build(idx []int, depth int) int32 {
+	if len(idx) <= 1 || depth >= b.maxDepth {
+		b.nodes = append(b.nodes, Node{Feature: -1, Size: int32(len(idx))})
+		return int32(len(b.nodes) - 1)
+	}
+	d := len(b.xs[0])
+	// Pick a random feature with spread; give up after a few tries.
+	var feat int
+	var lo, hi float64
+	found := false
+	for try := 0; try < 8; try++ {
+		feat = b.rng.Intn(d)
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, i := range idx {
+			v := b.xs[i][feat]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > lo {
+			found = true
+			break
+		}
+	}
+	if !found {
+		b.nodes = append(b.nodes, Node{Feature: -1, Size: int32(len(idx))})
+		return int32(len(b.nodes) - 1)
+	}
+	thr := b.rng.Uniform(lo, hi)
+	var li, ri []int
+	for _, i := range idx {
+		if b.xs[i][feat] < thr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		b.nodes = append(b.nodes, Node{Feature: -1, Size: int32(len(idx))})
+		return int32(len(b.nodes) - 1)
+	}
+	self := int32(len(b.nodes))
+	b.nodes = append(b.nodes, Node{Feature: int32(feat), Threshold: thr})
+	l := b.build(li, depth+1)
+	r := b.build(ri, depth+1)
+	b.nodes[self].Left = l
+	b.nodes[self].Right = r
+	return self
+}

@@ -1,0 +1,99 @@
+package iforest
+
+import (
+	"testing"
+
+	"ddoshield/internal/ml/mltest"
+	"ddoshield/internal/sim"
+)
+
+// outlierData builds a dense benign cluster plus sparse far-away outliers.
+func outlierData(n int, frac float64, seed int64) ([][]float64, []int) {
+	rng := sim.NewRNG(seed)
+	xs := make([][]float64, n)
+	ys := make([]int, n)
+	for i := range xs {
+		x := make([]float64, 6)
+		if rng.Float64() < frac {
+			for j := range x {
+				x[j] = rng.Uniform(8, 16) // far from the benign cluster
+			}
+			ys[i] = 1
+		} else {
+			for j := range x {
+				x[j] = rng.NormFloat64()
+			}
+		}
+		xs[i] = x
+	}
+	return xs, ys
+}
+
+func TestIForestSeparatesOutliers(t *testing.T) {
+	xs, ys := outlierData(2000, 0.1, 1)
+	m, err := Train(Config{Seed: 1}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testX, testY := outlierData(500, 0.1, 2)
+	if acc := mltest.Accuracy(m.Predict, testX, testY); acc < 0.9 {
+		t.Fatalf("outlier accuracy = %.3f", acc)
+	}
+}
+
+func TestScoresOrdered(t *testing.T) {
+	xs, ys := outlierData(1000, 0.05, 3)
+	m, err := Train(Config{Seed: 3}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inlier := make([]float64, 6)
+	outlier := []float64{12, 12, 12, 12, 12, 12}
+	si, so := m.Score(inlier), m.Score(outlier)
+	if so <= si {
+		t.Fatalf("outlier score %v <= inlier score %v", so, si)
+	}
+	if si <= 0 || so >= 1 {
+		t.Fatalf("scores out of range: %v %v", si, so)
+	}
+}
+
+func TestContaminationOverride(t *testing.T) {
+	xs, ys := outlierData(1000, 0.05, 4)
+	strict, err := Train(Config{Seed: 4, Contamination: 0.01}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Train(Config{Seed: 4, Contamination: 0.3}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Threshold <= loose.Threshold {
+		t.Fatalf("thresholds: strict=%v loose=%v", strict.Threshold, loose.Threshold)
+	}
+}
+
+func TestIForestRejectsBadInput(t *testing.T) {
+	if _, err := Train(Config{}, nil, nil); err == nil {
+		t.Fatal("accepted empty set")
+	}
+	if _, err := Train(Config{}, [][]float64{{1}}, []int{0, 1}); err == nil {
+		t.Fatal("accepted mismatch")
+	}
+}
+
+func TestConstantDataDoesNotHang(t *testing.T) {
+	xs := make([][]float64, 100)
+	ys := make([]int, 100)
+	for i := range xs {
+		xs[i] = []float64{1, 1, 1}
+	}
+	m, err := Train(Config{Trees: 10, Seed: 5}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "iforest" || m.MemoryBytes() <= 0 {
+		t.Fatal("metadata broken")
+	}
+	m.Predict([]float64{1, 1, 1}) // must not panic
+}

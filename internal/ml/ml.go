@@ -1,0 +1,51 @@
+// Package ml is the from-scratch machine-learning layer of the IDS: the
+// paper's three detectors (Random Forest, entropy-penalized K-Means and a
+// 1-D Convolutional Neural Network) behind a common Classifier interface,
+// plus evaluation metrics and model serialization. The paper implements RF
+// and K-Means with scikit-learn and the CNN with TensorFlow; here all three
+// are reimplemented in pure Go on the same feature vectors.
+package ml
+
+// Classifier is a trained model that labels one feature vector with a
+// class index (dataset.Benign or dataset.Malicious in the IDS).
+type Classifier interface {
+	// Predict returns the predicted class of x.
+	Predict(x []float64) int
+	// Name identifies the model family ("rf", "kmeans", "cnn").
+	Name() string
+}
+
+// PredictBatch labels every row of xs using c.
+func PredictBatch(c Classifier, xs [][]float64) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = c.Predict(x)
+	}
+	return out
+}
+
+// OffsetView adapts a classifier trained on a suffix of the feature vector
+// (e.g. the statistical block only) to full vectors: Predict drops the
+// first Offset columns before delegating. The Table I RF reproduction uses
+// it to model a detector whose decisions are driven by the shared
+// window-statistics block — the behaviour the paper attributes to its RF.
+type OffsetView struct {
+	Inner  Classifier
+	Offset int
+}
+
+var _ Classifier = OffsetView{}
+
+// Predict delegates on the column suffix.
+func (v OffsetView) Predict(x []float64) int { return v.Inner.Predict(x[v.Offset:]) }
+
+// Name reports the inner model's name.
+func (v OffsetView) Name() string { return v.Inner.Name() }
+
+// MemoryBytes delegates when the inner model reports a footprint.
+func (v OffsetView) MemoryBytes() int64 {
+	if mr, ok := v.Inner.(interface{ MemoryBytes() int64 }); ok {
+		return mr.MemoryBytes()
+	}
+	return 0
+}

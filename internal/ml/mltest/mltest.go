@@ -1,0 +1,64 @@
+// Package mltest provides shared synthetic datasets for the ML package
+// tests: linearly separable blobs, noisy blobs, and an XOR-style pattern
+// that defeats linear models but not trees or the CNN.
+package mltest
+
+import (
+	"ddoshield/internal/sim"
+)
+
+// Blobs generates n points split between two Gaussian blobs in d
+// dimensions, centers at ±sep/2 on every axis. Returns rows and labels.
+func Blobs(n, d int, sep float64, seed int64) ([][]float64, []int) {
+	rng := sim.NewRNG(seed)
+	xs := make([][]float64, n)
+	ys := make([]int, n)
+	for i := range xs {
+		y := i % 2
+		c := -sep / 2
+		if y == 1 {
+			c = sep / 2
+		}
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = c + rng.NormFloat64()
+		}
+		xs[i] = x
+		ys[i] = y
+	}
+	return xs, ys
+}
+
+// XOR generates the 2-D XOR pattern with Gaussian jitter: class 1 in
+// quadrants (+,+) and (-,-), class 0 otherwise.
+func XOR(n int, seed int64) ([][]float64, []int) {
+	rng := sim.NewRNG(seed)
+	xs := make([][]float64, n)
+	ys := make([]int, n)
+	for i := range xs {
+		a, b := rng.Intn(2), rng.Intn(2)
+		x := []float64{
+			(float64(a)*2 - 1) * 2 * (1 + 0.2*rng.NormFloat64()),
+			(float64(b)*2 - 1) * 2 * (1 + 0.2*rng.NormFloat64()),
+		}
+		xs[i] = x
+		if a == b {
+			ys[i] = 1
+		}
+	}
+	return xs, ys
+}
+
+// Accuracy scores predictions from a predict function over rows.
+func Accuracy(predict func([]float64) int, xs [][]float64, ys []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ok := 0
+	for i := range xs {
+		if predict(xs[i]) == ys[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(xs))
+}

@@ -1,0 +1,267 @@
+package modelio
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"ddoshield/internal/dataset"
+	"ddoshield/internal/ml"
+	"ddoshield/internal/ml/cnn"
+	"ddoshield/internal/ml/forest"
+	"ddoshield/internal/ml/iforest"
+	"ddoshield/internal/ml/kmeans"
+	"ddoshield/internal/ml/mltest"
+	"ddoshield/internal/ml/svm"
+	"ddoshield/internal/ml/vae"
+)
+
+func TestRoundTripAllModels(t *testing.T) {
+	xs, ys := mltest.Blobs(300, 16, 3, 1)
+	probe := xs[:50]
+
+	rf, err := forest.Train(forest.Config{Trees: 10, Seed: 1}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	km, err := kmeans.Train(kmeans.Config{Seed: 1}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _, err := cnn.Train(cnn.Config{Epochs: 2, Seed: 1}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, m := range []interface {
+		Predict([]float64) int
+		Name() string
+	}{rf, km, net} {
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatalf("save %s: %v", m.Name(), err)
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("load %s: %v", m.Name(), err)
+		}
+		if got.Name() != m.Name() {
+			t.Fatalf("kind changed: %s -> %s", m.Name(), got.Name())
+		}
+		for _, x := range probe {
+			if got.Predict(x) != m.Predict(x) {
+				t.Fatalf("%s: prediction changed after round trip", m.Name())
+			}
+		}
+	}
+}
+
+func TestModelSizeOrdering(t *testing.T) {
+	// Table II's shape: the K-Means model is dramatically smaller than RF
+	// and CNN (11 Kb vs ~712/736 Kb in the paper).
+	// Overlapping blobs grow deep trees, as noisy IDS traffic does.
+	xs, ys := mltest.Blobs(2000, 26, 0.5, 2)
+	rf, err := forest.Train(forest.Config{Trees: 50, MaxDepth: 12, Seed: 2}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	km, err := kmeans.Train(kmeans.Config{Seed: 2}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _, err := cnn.Train(cnn.Config{Epochs: 1, Seed: 2}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz := map[string]int64{}
+	for _, m := range []interface {
+		Predict([]float64) int
+		Name() string
+	}{rf, km, net} {
+		n, err := SizeBytes(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sz[m.Name()] = n
+	}
+	if sz["kmeans"]*10 > sz["rf"] || sz["kmeans"]*10 > sz["cnn"] {
+		t.Fatalf("size ordering broken: %v", sz)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	xs, ys := mltest.Blobs(100, 8, 3, 3)
+	km, err := kmeans.Train(kmeans.Config{Seed: 3}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "kmeans.gob")
+	if err := SaveFile(path, km); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "kmeans" {
+		t.Fatal("wrong kind from file")
+	}
+}
+
+func TestLoadRejectsJunk(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("accepted junk")
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	xs, ys := mltest.Blobs(200, 16, 3, 9)
+	km, err := kmeans.Train(kmeans.Config{Seed: 9}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &dataset.StandardScaler{Mean: make([]float64, 16), Std: make([]float64, 16)}
+	for i := range sc.Std {
+		sc.Std[i] = 2
+		sc.Mean[i] = float64(i)
+	}
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, Bundle{Model: km, Scaler: sc}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model.Name() != "kmeans" || got.Scaler == nil {
+		t.Fatalf("bundle = %+v", got)
+	}
+	if got.Scaler.Mean[3] != 3 || got.Scaler.Std[3] != 2 {
+		t.Fatal("scaler corrupted")
+	}
+	// Bundle without scaler.
+	buf.Reset()
+	if err := SaveBundle(&buf, Bundle{Model: km}); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Scaler != nil {
+		t.Fatal("phantom scaler")
+	}
+}
+
+func TestOffsetViewRoundTrip(t *testing.T) {
+	xs, ys := mltest.Blobs(200, 10, 3, 10)
+	rf, err := forest.Train(forest.Config{Trees: 3, Seed: 10}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ml.OffsetView{Inner: rf, Offset: 6}
+	var buf bytes.Buffer
+	if err := Save(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gv, ok := got.(ml.OffsetView)
+	if !ok || gv.Offset != 6 {
+		t.Fatalf("got %T %+v", got, got)
+	}
+	probe := make([]float64, 16)
+	if gv.Predict(probe) != v.Predict(probe) {
+		t.Fatal("prediction changed")
+	}
+}
+
+func TestRoundTripExtensionModels(t *testing.T) {
+	xs, ys := mltest.Blobs(300, 12, 3, 11)
+	probe := xs[:20]
+
+	sv, err := svm.Train(svm.Config{Seed: 11}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifo, err := iforest.Train(iforest.Config{Trees: 20, Seed: 11}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := vae.Train(vae.Config{Seed: 11, Epochs: 2}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []ml.Classifier{sv, ifo, va} {
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatalf("save %s: %v", m.Name(), err)
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("load %s: %v", m.Name(), err)
+		}
+		if got.Name() != m.Name() {
+			t.Fatalf("kind changed: %s -> %s", m.Name(), got.Name())
+		}
+		for _, x := range probe {
+			if got.Predict(x) != m.Predict(x) {
+				t.Fatalf("%s: prediction changed after round trip", m.Name())
+			}
+		}
+	}
+}
+
+func TestBundleFileRoundTrip(t *testing.T) {
+	xs, ys := mltest.Blobs(100, 8, 3, 12)
+	km, err := kmeans.Train(kmeans.Config{Seed: 12}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "b.model")
+	if err := SaveBundleFile(path, Bundle{Model: km}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBundleFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Model.Name() != "kmeans" {
+		t.Fatal("wrong kind")
+	}
+	if _, err := LoadBundleFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("loaded missing file")
+	}
+}
+
+func TestLoadBundleRejectsPlainModel(t *testing.T) {
+	xs, ys := mltest.Blobs(60, 4, 3, 13)
+	km, err := kmeans.Train(kmeans.Config{Seed: 13}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, km); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(&buf); err == nil {
+		t.Fatal("plain model accepted as bundle")
+	}
+}
+
+type unknownModel struct{}
+
+func (unknownModel) Predict([]float64) int { return 0 }
+func (unknownModel) Name() string          { return "mystery" }
+
+func TestSaveRejectsUnknownModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, unknownModel{}); err == nil {
+		t.Fatal("unknown model type accepted")
+	}
+	if _, err := SizeBytes(unknownModel{}); err == nil {
+		t.Fatal("SizeBytes accepted unknown model")
+	}
+}

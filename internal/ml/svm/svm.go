@@ -1,0 +1,97 @@
+// Package svm implements a linear Support Vector Machine trained with the
+// Pegasos stochastic sub-gradient method — the first of the three
+// additional detectors the paper's §V names for its planned model study
+// (SVM, Isolation Forest, VAE). Like K-Means and the CNN, it expects
+// standardized features.
+package svm
+
+import (
+	"fmt"
+
+	"ddoshield/internal/sim"
+)
+
+// Config tunes training.
+type Config struct {
+	// Lambda is the L2 regularization strength (default 1e-4).
+	Lambda float64
+	// Epochs is the number of passes over the data (default 5).
+	Epochs int
+	// Seed drives example sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lambda <= 0 {
+		c.Lambda = 1e-4
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 5
+	}
+	return c
+}
+
+// Model is a trained linear SVM: f(x) = W·x + B, class 1 when positive.
+type Model struct {
+	Cfg Config
+	W   []float64
+	B   float64
+}
+
+// Name implements ml.Classifier.
+func (m *Model) Name() string { return "svm" }
+
+// Predict returns 1 (malicious) when the margin is positive.
+func (m *Model) Predict(x []float64) int {
+	if m.Margin(x) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Margin returns the signed distance-proportional score W·x + B.
+func (m *Model) Margin(x []float64) float64 {
+	s := m.B
+	for i, w := range m.W {
+		s += w * x[i]
+	}
+	return s
+}
+
+// MemoryBytes reports the live model footprint.
+func (m *Model) MemoryBytes() int64 { return int64(len(m.W))*8 + 64 }
+
+// Train fits the SVM on rows xs with labels ys (0/1).
+func Train(cfg Config, xs [][]float64, ys []int) (*Model, error) {
+	cfg = cfg.withDefaults()
+	n := len(xs)
+	if n == 0 {
+		return nil, fmt.Errorf("svm: empty training set")
+	}
+	if len(ys) != n {
+		return nil, fmt.Errorf("svm: %d rows vs %d labels", n, len(ys))
+	}
+	d := len(xs[0])
+	m := &Model{Cfg: cfg, W: make([]float64, d)}
+	rng := sim.Substream(cfg.Seed, "svm")
+	t := 1
+	steps := cfg.Epochs * n
+	for s := 0; s < steps; s++ {
+		i := rng.Intn(n)
+		y := float64(ys[i])*2 - 1 // {-1,+1}
+		eta := 1 / (cfg.Lambda * float64(t))
+		t++
+		margin := m.Margin(xs[i])
+		// Sub-gradient step: shrink weights, push on margin violations.
+		for j := range m.W {
+			m.W[j] *= 1 - eta*cfg.Lambda
+		}
+		if y*margin < 1 {
+			for j, v := range xs[i] {
+				m.W[j] += eta * y * v
+			}
+			m.B += eta * y * 0.01 // slow bias drift, unregularized
+		}
+	}
+	return m, nil
+}

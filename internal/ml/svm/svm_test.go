@@ -1,0 +1,72 @@
+package svm
+
+import (
+	"testing"
+
+	"ddoshield/internal/ml/mltest"
+)
+
+func TestSVMLearnsBlobs(t *testing.T) {
+	xs, ys := mltest.Blobs(800, 8, 3, 1)
+	m, err := Train(Config{Seed: 1}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testX, testY := mltest.Blobs(300, 8, 3, 2)
+	if acc := mltest.Accuracy(m.Predict, testX, testY); acc < 0.95 {
+		t.Fatalf("blob accuracy = %.3f", acc)
+	}
+}
+
+func TestSVMMarginSign(t *testing.T) {
+	xs, ys := mltest.Blobs(400, 4, 4, 3)
+	m, err := Train(Config{Seed: 3}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := []float64{2, 2, 2, 2}
+	neg := []float64{-2, -2, -2, -2}
+	if m.Margin(pos) <= 0 || m.Margin(neg) >= 0 {
+		t.Fatalf("margins: pos=%v neg=%v", m.Margin(pos), m.Margin(neg))
+	}
+}
+
+func TestSVMCannotLearnXOR(t *testing.T) {
+	// A linear model must fail on XOR — documents the limitation that
+	// motivates the tree/deep models.
+	xs, ys := mltest.XOR(800, 4)
+	m, err := Train(Config{Seed: 4}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(m.Predict, xs, ys); acc > 0.75 {
+		t.Fatalf("linear SVM implausibly solved XOR: %.3f", acc)
+	}
+}
+
+func TestSVMRejectsBadInput(t *testing.T) {
+	if _, err := Train(Config{}, nil, nil); err == nil {
+		t.Fatal("accepted empty set")
+	}
+	if _, err := Train(Config{}, [][]float64{{1}}, []int{0, 1}); err == nil {
+		t.Fatal("accepted mismatch")
+	}
+}
+
+func TestSVMDeterministic(t *testing.T) {
+	xs, ys := mltest.Blobs(200, 4, 2, 5)
+	m1, err := Train(Config{Seed: 9}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(Config{Seed: 9}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.W[0] != m2.W[0] || m1.B != m2.B {
+		t.Fatal("same-seed training diverged")
+	}
+	if m1.Name() != "svm" || m1.MemoryBytes() <= 0 {
+		t.Fatal("metadata broken")
+	}
+}

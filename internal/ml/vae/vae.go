@@ -1,0 +1,330 @@
+// Package vae implements a Variational Autoencoder anomaly detector — the
+// third §V extension model. The VAE is trained on benign traffic only; at
+// detection time a packet whose reconstruction error exceeds a threshold
+// calibrated on benign training data is classified malicious. This is the
+// classic semi-supervised NIDS formulation: no attack examples are needed
+// at all, the detector learns what "normal" looks like.
+package vae
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ddoshield/internal/sim"
+)
+
+// Config describes the architecture and training schedule.
+type Config struct {
+	// Inputs is the feature width (set from the data by Train).
+	Inputs int
+	// Hidden is the encoder/decoder hidden width (default 32).
+	Hidden int
+	// Latent is the bottleneck width (default 4).
+	Latent int
+	// Beta weighs the KL term (default 0.1).
+	Beta float64
+	// Epochs, LearningRate drive SGD (defaults 10, 0.005).
+	Epochs       int
+	LearningRate float64
+	// ThresholdQuantile calibrates the benign reconstruction-error cut
+	// (default 0.995).
+	ThresholdQuantile float64
+	// Seed drives init, sampling noise and shuffling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden <= 0 {
+		c.Hidden = 32
+	}
+	if c.Latent <= 0 {
+		c.Latent = 4
+	}
+	if c.Beta <= 0 {
+		c.Beta = 0.1
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 10
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.005
+	}
+	if c.ThresholdQuantile <= 0 || c.ThresholdQuantile >= 1 {
+		c.ThresholdQuantile = 0.995
+	}
+	return c
+}
+
+// Model is a trained VAE with its calibrated anomaly threshold. Weight
+// matrices are exported for gob; layout: W1 [hidden][in] encoder, W2/W3
+// [latent][hidden] mu/logvar heads, W4 [hidden][latent] decoder, W5
+// [in][hidden] output.
+type Model struct {
+	Cfg Config
+	W1  [][]float64
+	B1  []float64
+	W2  [][]float64
+	B2  []float64
+	W3  [][]float64
+	B3  []float64
+	W4  [][]float64
+	B4  []float64
+	W5  [][]float64
+	B5  []float64
+	// Threshold is the reconstruction-error cut for Predict.
+	Threshold float64
+}
+
+// Name implements ml.Classifier.
+func (m *Model) Name() string { return "vae" }
+
+// Predict returns 1 (malicious) when reconstruction error exceeds the
+// calibrated benign threshold.
+func (m *Model) Predict(x []float64) int {
+	if m.ReconError(x) > m.Threshold {
+		return 1
+	}
+	return 0
+}
+
+// MemoryBytes reports the live model footprint.
+func (m *Model) MemoryBytes() int64 {
+	count := func(w [][]float64) int64 {
+		var n int64
+		for _, r := range w {
+			n += int64(len(r))
+		}
+		return n
+	}
+	params := count(m.W1) + count(m.W2) + count(m.W3) + count(m.W4) + count(m.W5) +
+		int64(len(m.B1)+len(m.B2)+len(m.B3)+len(m.B4)+len(m.B5))
+	acts := int64(m.Cfg.Hidden*2 + m.Cfg.Latent*2 + m.Cfg.Inputs)
+	return (params + acts) * 8
+}
+
+func relu(v float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return 0
+}
+
+func matVec(w [][]float64, b, x, out []float64) []float64 {
+	for i := range w {
+		s := b[i]
+		row := w[i]
+		for j, v := range x {
+			s += row[j] * v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ReconError computes mean squared reconstruction error through the
+// deterministic (z = mu) path.
+func (m *Model) ReconError(x []float64) float64 {
+	c := m.Cfg
+	h1 := make([]float64, c.Hidden)
+	matVec(m.W1, m.B1, x, h1)
+	for i := range h1 {
+		h1[i] = relu(h1[i])
+	}
+	mu := make([]float64, c.Latent)
+	matVec(m.W2, m.B2, h1, mu)
+	h2 := make([]float64, c.Hidden)
+	matVec(m.W4, m.B4, mu, h2)
+	for i := range h2 {
+		h2[i] = relu(h2[i])
+	}
+	xhat := make([]float64, c.Inputs)
+	matVec(m.W5, m.B5, h2, xhat)
+	var mse float64
+	for i := range x {
+		d := x[i] - xhat[i]
+		mse += d * d
+	}
+	return mse / float64(len(x))
+}
+
+// Train fits the VAE on the benign rows of (xs, ys) and calibrates the
+// detection threshold on those rows' reconstruction errors.
+func Train(cfg Config, xs [][]float64, ys []int) (*Model, error) {
+	var benign [][]float64
+	for i := range xs {
+		if ys[i] == 0 {
+			benign = append(benign, xs[i])
+		}
+	}
+	if len(benign) == 0 {
+		return nil, fmt.Errorf("vae: no benign rows to train on")
+	}
+	cfg.Inputs = len(benign[0])
+	cfg = cfg.withDefaults()
+	rng := sim.Substream(cfg.Seed, "vae")
+
+	mat := func(rows, cols int) [][]float64 {
+		scale := math.Sqrt(2 / float64(cols))
+		w := make([][]float64, rows)
+		for i := range w {
+			w[i] = make([]float64, cols)
+			for j := range w[i] {
+				w[i][j] = rng.NormFloat64() * scale
+			}
+		}
+		return w
+	}
+	m := &Model{
+		Cfg: cfg,
+		W1:  mat(cfg.Hidden, cfg.Inputs), B1: make([]float64, cfg.Hidden),
+		W2: mat(cfg.Latent, cfg.Hidden), B2: make([]float64, cfg.Latent),
+		W3: mat(cfg.Latent, cfg.Hidden), B3: make([]float64, cfg.Latent),
+		W4: mat(cfg.Hidden, cfg.Latent), B4: make([]float64, cfg.Hidden),
+		W5: mat(cfg.Inputs, cfg.Hidden), B5: make([]float64, cfg.Inputs),
+	}
+	m.fit(benign, rng)
+
+	// Calibrate the benign reconstruction-error quantile.
+	errs := make([]float64, len(benign))
+	for i, x := range benign {
+		errs[i] = m.ReconError(x)
+	}
+	sort.Float64s(errs)
+	cut := int(float64(len(errs)) * cfg.ThresholdQuantile)
+	if cut >= len(errs) {
+		cut = len(errs) - 1
+	}
+	m.Threshold = errs[cut]
+	return m, nil
+}
+
+// fit runs per-sample SGD on reconstruction + KL loss.
+func (m *Model) fit(data [][]float64, rng *sim.RNG) {
+	c := m.Cfg
+	lr := c.LearningRate
+	h1 := make([]float64, c.Hidden)
+	mu := make([]float64, c.Latent)
+	logvar := make([]float64, c.Latent)
+	z := make([]float64, c.Latent)
+	eps := make([]float64, c.Latent)
+	h2 := make([]float64, c.Hidden)
+	xhat := make([]float64, c.Inputs)
+	dxhat := make([]float64, c.Inputs)
+	dh2 := make([]float64, c.Hidden)
+	dz := make([]float64, c.Latent)
+	dmu := make([]float64, c.Latent)
+	dlogvar := make([]float64, c.Latent)
+	dh1 := make([]float64, c.Hidden)
+
+	order := make([]int, len(data))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < c.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			x := data[idx]
+			// Forward.
+			matVec(m.W1, m.B1, x, h1)
+			for i := range h1 {
+				h1[i] = relu(h1[i])
+			}
+			matVec(m.W2, m.B2, h1, mu)
+			matVec(m.W3, m.B3, h1, logvar)
+			for i := range z {
+				if logvar[i] > 10 {
+					logvar[i] = 10 // clamp for numeric safety
+				}
+				eps[i] = rng.NormFloat64()
+				z[i] = mu[i] + math.Exp(0.5*logvar[i])*eps[i]
+			}
+			matVec(m.W4, m.B4, z, h2)
+			for i := range h2 {
+				h2[i] = relu(h2[i])
+			}
+			matVec(m.W5, m.B5, h2, xhat)
+
+			// Backward: reconstruction term.
+			invD := 1 / float64(c.Inputs)
+			for i := range dxhat {
+				dxhat[i] = 2 * (xhat[i] - x[i]) * invD
+			}
+			for i := range dh2 {
+				dh2[i] = 0
+			}
+			for i := range m.W5 {
+				g := dxhat[i]
+				row := m.W5[i]
+				for j := range row {
+					dh2[j] += row[j] * g
+					row[j] -= lr * g * h2[j]
+				}
+				m.B5[i] -= lr * g
+			}
+			for i := range dh2 {
+				if h2[i] <= 0 {
+					dh2[i] = 0
+				}
+			}
+			for i := range dz {
+				dz[i] = 0
+			}
+			for i := range m.W4 {
+				g := dh2[i]
+				if g == 0 {
+					continue
+				}
+				row := m.W4[i]
+				for j := range row {
+					dz[j] += row[j] * g
+					row[j] -= lr * g * z[j]
+				}
+				m.B4[i] -= lr * g
+			}
+			// KL term gradients + reparameterization.
+			invL := c.Beta / float64(c.Latent)
+			for i := range dmu {
+				dmu[i] = dz[i] + invL*mu[i]
+				dlogvar[i] = dz[i]*eps[i]*0.5*math.Exp(0.5*logvar[i]) + invL*0.5*(math.Exp(logvar[i])-1)
+			}
+			for i := range dh1 {
+				dh1[i] = 0
+			}
+			for i := range m.W2 {
+				g := dmu[i]
+				row := m.W2[i]
+				for j := range row {
+					dh1[j] += row[j] * g
+					row[j] -= lr * g * h1[j]
+				}
+				m.B2[i] -= lr * g
+			}
+			for i := range m.W3 {
+				g := dlogvar[i]
+				row := m.W3[i]
+				for j := range row {
+					dh1[j] += row[j] * g
+					row[j] -= lr * g * h1[j]
+				}
+				m.B3[i] -= lr * g
+			}
+			for i := range dh1 {
+				if h1[i] <= 0 {
+					dh1[i] = 0
+				}
+			}
+			for i := range m.W1 {
+				g := dh1[i]
+				if g == 0 {
+					continue
+				}
+				row := m.W1[i]
+				for j := range row {
+					row[j] -= lr * g * x[j]
+				}
+				m.B1[i] -= lr * g
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package vae
+
+import (
+	"testing"
+
+	"ddoshield/internal/sim"
+)
+
+// anomalyData builds benign points on a low-dimensional structure (a line
+// with noise) and anomalies off it.
+func anomalyData(n int, frac float64, seed int64) ([][]float64, []int) {
+	rng := sim.NewRNG(seed)
+	xs := make([][]float64, n)
+	ys := make([]int, n)
+	for i := range xs {
+		x := make([]float64, 8)
+		if rng.Float64() < frac {
+			for j := range x {
+				x[j] = rng.Uniform(-4, 4) // unstructured anomaly
+			}
+			ys[i] = 1
+		} else {
+			t := rng.NormFloat64()
+			for j := range x {
+				x[j] = t*float64(j+1)/4 + 0.05*rng.NormFloat64()
+			}
+		}
+		xs[i] = x
+	}
+	return xs, ys
+}
+
+func TestVAEFlagsAnomalies(t *testing.T) {
+	xs, ys := anomalyData(3000, 0.1, 1)
+	m, err := Train(Config{Seed: 1, Epochs: 15}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testX, testY := anomalyData(600, 0.1, 2)
+	correct := 0
+	for i := range testX {
+		if m.Predict(testX[i]) == testY[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(testX))
+	if acc < 0.85 {
+		t.Fatalf("anomaly accuracy = %.3f", acc)
+	}
+}
+
+func TestReconErrorOrdering(t *testing.T) {
+	xs, ys := anomalyData(2000, 0.05, 3)
+	m, err := Train(Config{Seed: 3, Epochs: 15}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A structured (benign-like) point reconstructs better than noise.
+	benign := make([]float64, 8)
+	for j := range benign {
+		benign[j] = float64(j+1) / 4
+	}
+	noise := []float64{3, -3, 3, -3, 3, -3, 3, -3}
+	if m.ReconError(benign) >= m.ReconError(noise) {
+		t.Fatalf("recon errors: benign=%v noise=%v",
+			m.ReconError(benign), m.ReconError(noise))
+	}
+}
+
+func TestVAETrainsOnBenignOnly(t *testing.T) {
+	// All-malicious labels leave nothing to train on.
+	xs := [][]float64{{1, 2}, {3, 4}}
+	ys := []int{1, 1}
+	if _, err := Train(Config{}, xs, ys); err == nil {
+		t.Fatal("trained with no benign rows")
+	}
+}
+
+func TestVAEDeterministic(t *testing.T) {
+	xs, ys := anomalyData(500, 0.1, 5)
+	m1, err := Train(Config{Seed: 7, Epochs: 3}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(Config{Seed: 7, Epochs: 3}, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Threshold != m2.Threshold {
+		t.Fatal("same-seed training diverged")
+	}
+	if m1.Name() != "vae" || m1.MemoryBytes() <= 0 {
+		t.Fatal("metadata broken")
+	}
+}

@@ -1,0 +1,333 @@
+// Package netsim is the packet-level network simulator that replaces NS-3 in
+// this reproduction of DDoShield-IoT. It models nodes with NICs, full-duplex
+// links with finite bandwidth, propagation delay and drop-tail queues, and a
+// learning Ethernet switch (the CSMA-segment analog the paper's topology
+// uses to join the Devs, the Attacker, the TServer and the IDS).
+//
+// All state advances on a single sim.Scheduler; the simulation is therefore
+// deterministic for a fixed seed and topology.
+package netsim
+
+import (
+	"fmt"
+
+	"ddoshield/internal/packet"
+	"ddoshield/internal/sim"
+)
+
+// Port is anything that can terminate a link: a host NIC or a switch port.
+type Port interface {
+	// receive is invoked by the link when a frame finishes arriving.
+	receive(raw []byte)
+	// String identifies the port for diagnostics.
+	String() string
+}
+
+// Tap observes frames on a link. Taps run at frame-delivery time with the
+// simulated timestamp, exactly like a passive capture interface. The pcap
+// writer and the IDS monitor are both taps.
+type Tap func(t sim.Time, raw []byte)
+
+// Network owns the simulated topology: the scheduler, every node, link and
+// switch, and the MAC address allocator.
+type Network struct {
+	sched   *sim.Scheduler
+	nodes   []*Node
+	links   []*Link
+	macSeq  uint64
+	nameSet map[string]bool
+}
+
+// New creates an empty network driven by sched.
+func New(sched *sim.Scheduler) *Network {
+	return &Network{sched: sched, nameSet: make(map[string]bool)}
+}
+
+// Scheduler exposes the simulation scheduler driving this network.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Now reports the current simulated time.
+func (n *Network) Now() sim.Time { return n.sched.Now() }
+
+// NewNode adds a named host node. Names must be unique.
+func (n *Network) NewNode(name string) *Node {
+	if n.nameSet[name] {
+		name = fmt.Sprintf("%s-%d", name, len(n.nodes))
+	}
+	n.nameSet[name] = true
+	node := &Node{net: n, name: name}
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// Nodes returns the hosts in creation order.
+func (n *Network) Nodes() []*Node {
+	out := make([]*Node, len(n.nodes))
+	copy(out, n.nodes)
+	return out
+}
+
+func (n *Network) nextMAC() packet.MAC {
+	n.macSeq++
+	return packet.MACFromUint64(n.macSeq)
+}
+
+// Node is a simulated host: a container-backed device, the attacker, the
+// target server or the IDS. A node owns one or more NICs.
+type Node struct {
+	net  *Network
+	name string
+	nics []*NIC
+}
+
+// Name returns the node's unique name.
+func (nd *Node) Name() string { return nd.name }
+
+// Network returns the owning network.
+func (nd *Node) Network() *Network { return nd.net }
+
+// AddNIC attaches a new NIC to the node.
+func (nd *Node) AddNIC() *NIC {
+	nic := &NIC{node: nd, mac: nd.net.nextMAC(), index: len(nd.nics)}
+	nd.nics = append(nd.nics, nic)
+	return nic
+}
+
+// NIC returns the i-th NIC, or nil when absent.
+func (nd *Node) NIC(i int) *NIC {
+	if i < 0 || i >= len(nd.nics) {
+		return nil
+	}
+	return nd.nics[i]
+}
+
+// NICs returns all NICs in attachment order.
+func (nd *Node) NICs() []*NIC {
+	out := make([]*NIC, len(nd.nics))
+	copy(out, nd.nics)
+	return out
+}
+
+// NIC is a network interface with a MAC address, bound to one end of a link.
+type NIC struct {
+	node    *Node
+	mac     packet.MAC
+	index   int
+	link    *Link
+	side    int // 0 or 1: which end of the link this NIC terminates
+	handler func(raw []byte)
+	// ingress, when set, vets every arriving frame before the handler;
+	// returning false drops it (the firewall hook).
+	ingress func(raw []byte) bool
+
+	rxFrames       uint64
+	rxBytes        uint64
+	txFrames       uint64
+	txBytes        uint64
+	ingressDropped uint64
+}
+
+var _ Port = (*NIC)(nil)
+
+// MAC reports the NIC's hardware address.
+func (c *NIC) MAC() packet.MAC { return c.mac }
+
+// Node reports the owning node.
+func (c *NIC) Node() *Node { return c.node }
+
+// Attached reports whether the NIC is wired to a link.
+func (c *NIC) Attached() bool { return c.link != nil }
+
+// SetHandler installs the receive callback (the host network stack).
+func (c *NIC) SetHandler(fn func(raw []byte)) { c.handler = fn }
+
+// Send transmits a raw frame out of the NIC. Frames sent on an unattached
+// NIC are silently dropped, like a cable that was unplugged (device churn).
+func (c *NIC) Send(raw []byte) {
+	if c.link == nil {
+		return
+	}
+	c.txFrames++
+	c.txBytes += uint64(len(raw))
+	c.link.send(c.side, raw)
+}
+
+// Stats reports cumulative frame/byte counters (rx then tx).
+func (c *NIC) Stats() (rxFrames, rxBytes, txFrames, txBytes uint64) {
+	return c.rxFrames, c.rxBytes, c.txFrames, c.txBytes
+}
+
+func (c *NIC) receive(raw []byte) {
+	if c.ingress != nil && !c.ingress(raw) {
+		c.ingressDropped++
+		return
+	}
+	c.rxFrames++
+	c.rxBytes += uint64(len(raw))
+	if c.handler != nil {
+		c.handler(raw)
+	}
+}
+
+// SetIngressFilter installs (or clears, with nil) a frame filter that runs
+// before the receive handler; returning false drops the frame. A firewall
+// in front of the host attaches here.
+func (c *NIC) SetIngressFilter(fn func(raw []byte) bool) { c.ingress = fn }
+
+// IngressDropped reports frames discarded by the ingress filter.
+func (c *NIC) IngressDropped() uint64 { return c.ingressDropped }
+
+// String identifies the NIC as "node/ethN".
+func (c *NIC) String() string { return fmt.Sprintf("%s/eth%d", c.node.name, c.index) }
+
+// LinkConfig sets the physical properties of a duplex link.
+type LinkConfig struct {
+	// RateBps is the line rate in bits per second (default 100 Mb/s).
+	RateBps int64
+	// Delay is the one-way propagation delay (default 1 ms).
+	Delay sim.Time
+	// QueueBytes caps each direction's drop-tail queue (default 128 KiB).
+	QueueBytes int
+	// LossProb drops each frame independently with this probability,
+	// using rng. Zero disables random loss.
+	LossProb float64
+	// RNG drives random loss; required when LossProb > 0.
+	RNG *sim.RNG
+}
+
+func (cfg LinkConfig) withDefaults() LinkConfig {
+	if cfg.RateBps <= 0 {
+		cfg.RateBps = 100_000_000
+	}
+	if cfg.Delay <= 0 {
+		cfg.Delay = sim.Millisecond
+	}
+	if cfg.QueueBytes <= 0 {
+		cfg.QueueBytes = 128 << 10
+	}
+	return cfg
+}
+
+// Link is a full-duplex point-to-point link between two ports. Each
+// direction has an independent transmitter with a drop-tail byte queue.
+type Link struct {
+	net  *Network
+	cfg  LinkConfig
+	ends [2]Port
+	dirs [2]*direction // dirs[i] carries frames from ends[i] to ends[1-i]
+	taps []Tap
+	up   bool
+}
+
+type direction struct {
+	link       *Link
+	from       int
+	queue      [][]byte
+	queued     int // bytes waiting (excluding the frame in transmission)
+	busy       bool
+	txFrames   uint64
+	txBytes    uint64
+	dropFrames uint64
+	lossFrames uint64
+}
+
+// Connect wires two ports with a duplex link.
+func (n *Network) Connect(a, b Port, cfg LinkConfig) *Link {
+	l := &Link{net: n, cfg: cfg.withDefaults(), ends: [2]Port{a, b}, up: true}
+	l.dirs[0] = &direction{link: l, from: 0}
+	l.dirs[1] = &direction{link: l, from: 1}
+	bindPort(a, l, 0)
+	bindPort(b, l, 1)
+	n.links = append(n.links, l)
+	return l
+}
+
+func bindPort(p Port, l *Link, side int) {
+	switch v := p.(type) {
+	case *NIC:
+		v.link = l
+		v.side = side
+	case *switchPort:
+		v.link = l
+		v.side = side
+	}
+}
+
+// AddTap registers a passive observer invoked for every frame the link
+// delivers (in either direction).
+func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
+
+// SetUp raises or cuts the link. Frames sent while the link is down are
+// dropped; frames already in flight still arrive. Used by the churn model.
+func (l *Link) SetUp(up bool) { l.up = up }
+
+// Up reports whether the link is currently passing traffic.
+func (l *Link) Up() bool { return l.up }
+
+// Stats aggregates both directions' counters.
+func (l *Link) Stats() (txFrames, txBytes, drops uint64) {
+	for _, d := range l.dirs {
+		txFrames += d.txFrames
+		txBytes += d.txBytes
+		drops += d.dropFrames + d.lossFrames
+	}
+	return
+}
+
+// serializationTime is how long a frame of n bytes occupies the transmitter.
+func (l *Link) serializationTime(n int) sim.Time {
+	return sim.Time(int64(n) * 8 * int64(sim.Second) / l.cfg.RateBps)
+}
+
+func (l *Link) send(from int, raw []byte) {
+	if !l.up {
+		l.dirs[from].dropFrames++
+		return
+	}
+	d := l.dirs[from]
+	if d.busy {
+		if d.queued+len(raw) > l.cfg.QueueBytes {
+			d.dropFrames++ // drop-tail: queue full
+			return
+		}
+		d.queue = append(d.queue, raw)
+		d.queued += len(raw)
+		return
+	}
+	d.transmit(raw)
+}
+
+func (d *direction) transmit(raw []byte) {
+	l := d.link
+	d.busy = true
+	ser := l.serializationTime(len(raw))
+	sched := l.net.sched
+	// Transmitter frees after serialization; frame lands after propagation.
+	sched.At(sched.Now()+ser, func() {
+		d.txFrames++
+		d.txBytes += uint64(len(raw))
+		if len(d.queue) > 0 {
+			next := d.queue[0]
+			d.queue = d.queue[1:]
+			d.queued -= len(next)
+			d.transmit(next)
+		} else {
+			d.busy = false
+		}
+	})
+	if l.cfg.LossProb > 0 && l.cfg.RNG != nil && l.cfg.RNG.Bool(l.cfg.LossProb) {
+		d.lossFrames++
+		return
+	}
+	arrive := sched.Now() + ser + l.cfg.Delay
+	to := l.ends[1-d.from]
+	sched.At(arrive, func() {
+		if !l.up {
+			return
+		}
+		for _, tap := range l.taps {
+			tap(sched.Now(), raw)
+		}
+		to.receive(raw)
+	})
+}

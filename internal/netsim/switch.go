@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"fmt"
+
+	"ddoshield/internal/packet"
+	"ddoshield/internal/sim"
+)
+
+// Switch is a learning Ethernet switch: the CSMA segment that joins the
+// testbed's containers in the paper's topology. It floods unknown and
+// broadcast destinations and learns source MACs per port.
+type Switch struct {
+	net   *Network
+	name  string
+	ports []*switchPort
+	table map[packet.MAC]*switchPort
+	taps  []Tap
+
+	forwarded uint64
+	flooded   uint64
+}
+
+// NewSwitch adds a named learning switch to the network.
+func (n *Network) NewSwitch(name string) *Switch {
+	return &Switch{net: n, name: name, table: make(map[packet.MAC]*switchPort)}
+}
+
+// Name returns the switch name.
+func (s *Switch) Name() string { return s.name }
+
+// NewPort adds a port to the switch; wire it with Network.Connect.
+func (s *Switch) NewPort() Port {
+	p := &switchPort{sw: s, index: len(s.ports)}
+	s.ports = append(s.ports, p)
+	return p
+}
+
+// AddTap registers a passive observer invoked for every frame the switch
+// relays (once per ingress frame, regardless of fan-out). Tapping the switch
+// is the testbed's span-port analog: the IDS sees all segment traffic.
+func (s *Switch) AddTap(t Tap) { s.taps = append(s.taps, t) }
+
+// Stats reports frames forwarded to a learned port and frames flooded.
+func (s *Switch) Stats() (forwarded, flooded uint64) { return s.forwarded, s.flooded }
+
+// Forget clears the MAC learning table (e.g. after heavy churn).
+func (s *Switch) Forget() { s.table = make(map[packet.MAC]*switchPort) }
+
+type switchPort struct {
+	sw    *Switch
+	index int
+	link  *Link
+	side  int
+}
+
+var _ Port = (*switchPort)(nil)
+
+func (p *switchPort) String() string { return fmt.Sprintf("%s/port%d", p.sw.name, p.index) }
+
+func (p *switchPort) send(raw []byte) {
+	if p.link != nil {
+		p.link.send(p.side, raw)
+	}
+}
+
+func (p *switchPort) receive(raw []byte) {
+	s := p.sw
+	eth, _, err := packet.UnmarshalEthernet(raw)
+	if err != nil {
+		return // runt frame: discard
+	}
+	for _, tap := range s.taps {
+		tap(s.net.sched.Now(), raw)
+	}
+	if !eth.Src.IsBroadcast() {
+		s.table[eth.Src] = p
+	}
+	if !eth.Dst.IsBroadcast() {
+		if out, ok := s.table[eth.Dst]; ok {
+			if out != p {
+				s.forwarded++
+				out.send(raw)
+			}
+			return
+		}
+	}
+	// Broadcast or unknown unicast: flood all other ports.
+	s.flooded++
+	for _, out := range s.ports {
+		if out != p {
+			out.send(raw)
+		}
+	}
+}
+
+// TapAll attaches the tap to every frame relayed by the switch plus every
+// frame delivered on the given extra links. Convenience for experiments.
+func TapAll(tap Tap, s *Switch, links ...*Link) {
+	if s != nil {
+		s.AddTap(tap)
+	}
+	for _, l := range links {
+		l.AddTap(tap)
+	}
+}
+
+// DecodeTap wraps a packet-level observer as a raw Tap, dropping frames
+// that fail Ethernet dissection.
+func DecodeTap(fn func(p *packet.Packet)) Tap {
+	return func(t sim.Time, raw []byte) {
+		p, err := packet.Decode(t, raw)
+		if err != nil {
+			return
+		}
+		fn(p)
+	}
+}

@@ -1,0 +1,320 @@
+// Package netstack implements the userspace network stack that runs inside
+// each simulated container: ARP, IPv4, UDP sockets and an event-driven TCP
+// with three-way handshake, sliding-window data transfer, retransmission and
+// connection teardown. The paper's testbed relies on the Linux stack inside
+// Docker containers; the IDS features (SYN-without-ACK ratio, short-lived
+// connections, sequence-number variance) only make sense if handshakes and
+// retransmissions genuinely happen on the wire, so this package provides
+// them.
+package netstack
+
+import (
+	"fmt"
+	"time"
+
+	"ddoshield/internal/netsim"
+	"ddoshield/internal/packet"
+	"ddoshield/internal/sim"
+)
+
+// HostConfig configures a host's single-homed IPv4 stack.
+type HostConfig struct {
+	// Addr is the host's IPv4 address.
+	Addr packet.Addr
+	// Subnet is the directly connected prefix.
+	Subnet packet.Prefix
+	// Gateway is the default next hop for off-subnet destinations; zero
+	// means off-subnet traffic is unroutable.
+	Gateway packet.Addr
+	// Seed drives the stack's RNG (ISNs, ephemeral ports, IP IDs).
+	Seed int64
+	// TTL is the initial TTL for generated packets (default 64).
+	TTL uint8
+}
+
+type pendingFrame struct {
+	build func(dstMAC packet.MAC) []byte
+}
+
+type arpEntry struct {
+	mac     packet.MAC
+	pending []pendingFrame
+	tries   int
+	waiting bool
+}
+
+// Host is one endpoint's network stack bound to a NIC.
+type Host struct {
+	nic   *netsim.NIC
+	sched *sim.Scheduler
+	cfg   HostConfig
+	rng   *sim.RNG
+
+	arp       map[packet.Addr]*arpEntry
+	udpSocks  map[uint16]*UDPSocket
+	listeners map[uint16]*Listener
+	conns     map[connKey]*Conn
+	ipID      uint16
+	ephemeral uint16
+
+	// forwarder, when non-nil, receives IPv4 packets addressed elsewhere
+	// (set by Router.AddInterface).
+	forwarder *routerIface
+
+	// Counters for diagnostics and tests.
+	rxIPv4    uint64
+	rxARP     uint64
+	rxBadDst  uint64
+	txIPv4    uint64
+	arpFailed uint64
+}
+
+// NewHost binds a stack to nic. The NIC's receive handler is taken over.
+func NewHost(nic *netsim.NIC, cfg HostConfig) *Host {
+	if cfg.TTL == 0 {
+		cfg.TTL = 64
+	}
+	h := &Host{
+		nic:       nic,
+		sched:     nic.Node().Network().Scheduler(),
+		cfg:       cfg,
+		rng:       sim.Substream(cfg.Seed, "netstack/"+cfg.Addr.String()),
+		arp:       make(map[packet.Addr]*arpEntry),
+		udpSocks:  make(map[uint16]*UDPSocket),
+		listeners: make(map[uint16]*Listener),
+		conns:     make(map[connKey]*Conn),
+		ephemeral: 32768,
+	}
+	nic.SetHandler(h.receive)
+	return h
+}
+
+// Addr reports the host's IPv4 address.
+func (h *Host) Addr() packet.Addr { return h.cfg.Addr }
+
+// MAC reports the bound NIC's hardware address.
+func (h *Host) MAC() packet.MAC { return h.nic.MAC() }
+
+// NIC returns the bound NIC.
+func (h *Host) NIC() *netsim.NIC { return h.nic }
+
+// Scheduler returns the simulation scheduler the stack runs on.
+func (h *Host) Scheduler() *sim.Scheduler { return h.sched }
+
+// Now reports the current simulated time.
+func (h *Host) Now() sim.Time { return h.sched.Now() }
+
+// nextIPID returns a fresh IPv4 identification value.
+func (h *Host) nextIPID() uint16 {
+	h.ipID++
+	return h.ipID
+}
+
+// nextEphemeralPort returns the next client port in the ephemeral range.
+func (h *Host) nextEphemeralPort() uint16 {
+	for i := 0; i < 65536; i++ {
+		h.ephemeral++
+		if h.ephemeral < 32768 {
+			h.ephemeral = 32768
+		}
+		p := h.ephemeral
+		if _, used := h.udpSocks[p]; used {
+			continue
+		}
+		if _, used := h.listeners[p]; used {
+			continue
+		}
+		return p
+	}
+	return 0
+}
+
+// nextHop returns the IP the frame must be L2-addressed to: the destination
+// itself when on-subnet, otherwise the default gateway.
+func (h *Host) nextHop(dst packet.Addr) (packet.Addr, error) {
+	if h.cfg.Subnet.Contains(dst) || dst == (packet.Addr{255, 255, 255, 255}) {
+		return dst, nil
+	}
+	if h.cfg.Gateway.IsZero() {
+		return packet.Addr{}, fmt.Errorf("netstack %s: no route to %s", h.cfg.Addr, dst)
+	}
+	return h.cfg.Gateway, nil
+}
+
+const (
+	arpRetryInterval = 100 * time.Millisecond
+	arpMaxTries      = 3
+)
+
+// sendIP resolves the next hop's MAC (via ARP, queueing the frame while
+// resolution is in flight) and transmits the frame built by build.
+func (h *Host) sendIP(dst packet.Addr, build func(dstMAC packet.MAC) []byte) {
+	hop, err := h.nextHop(dst)
+	if err != nil {
+		return // unroutable: silently dropped, as a real stack would
+	}
+	h.sendIPVia(hop, build)
+}
+
+// sendIPVia transmits via an explicit next-hop address on this segment.
+func (h *Host) sendIPVia(hop packet.Addr, build func(dstMAC packet.MAC) []byte) {
+	e := h.arp[hop]
+	if e != nil && e.mac != (packet.MAC{}) {
+		h.txIPv4++
+		h.nic.Send(build(e.mac))
+		return
+	}
+	if e == nil {
+		e = &arpEntry{}
+		h.arp[hop] = e
+	}
+	e.pending = append(e.pending, pendingFrame{build: build})
+	if !e.waiting {
+		e.waiting = true
+		e.tries = 0
+		h.sendARPRequest(hop, e)
+	}
+}
+
+func (h *Host) sendARPRequest(target packet.Addr, e *arpEntry) {
+	e.tries++
+	req := packet.ARP{
+		Op:        packet.ARPRequest,
+		SenderMAC: h.MAC(),
+		SenderIP:  h.cfg.Addr,
+		TargetIP:  target,
+	}
+	h.nic.Send(packet.BuildARP(h.MAC(), packet.BroadcastMAC, req))
+	h.sched.After(arpRetryInterval, func() {
+		if e.mac != (packet.MAC{}) || !e.waiting {
+			return
+		}
+		if e.tries >= arpMaxTries {
+			e.waiting = false
+			h.arpFailed += uint64(len(e.pending))
+			e.pending = nil
+			return
+		}
+		h.sendARPRequest(target, e)
+	})
+}
+
+// ResolveMAC performs ARP resolution for ip and invokes cb with the result.
+// The flood engines use it once per target, then forge frames directly.
+func (h *Host) ResolveMAC(ip packet.Addr, cb func(mac packet.MAC, ok bool)) {
+	hop, err := h.nextHop(ip)
+	if err != nil {
+		cb(packet.MAC{}, false)
+		return
+	}
+	if e := h.arp[hop]; e != nil && e.mac != (packet.MAC{}) {
+		cb(e.mac, true)
+		return
+	}
+	// Piggyback on the pending-frame machinery with a zero-length frame
+	// builder that just reports the resolution.
+	h.sendIP(ip, func(mac packet.MAC) []byte {
+		cb(mac, true)
+		return nil
+	})
+	// Failure notification after the retries would have elapsed.
+	h.sched.After(time.Duration(arpMaxTries+1)*arpRetryInterval, func() {
+		if e := h.arp[hop]; e == nil || e.mac == (packet.MAC{}) {
+			cb(packet.MAC{}, false)
+		}
+	})
+}
+
+// SendRaw transmits a pre-built frame verbatim. Nil and runt frames are
+// ignored. This is the raw-socket analog the Mirai attack engines use.
+func (h *Host) SendRaw(frame []byte) {
+	if len(frame) < packet.EthernetHeaderLen {
+		return
+	}
+	h.nic.Send(frame)
+}
+
+// receive is the NIC ingress path.
+func (h *Host) receive(raw []byte) {
+	eth, rest, err := packet.UnmarshalEthernet(raw)
+	if err != nil {
+		return
+	}
+	if eth.Dst != h.MAC() && !eth.Dst.IsBroadcast() {
+		h.rxBadDst++
+		return
+	}
+	switch eth.Type {
+	case packet.EtherTypeARP:
+		h.rxARP++
+		h.handleARP(rest)
+	case packet.EtherTypeIPv4:
+		h.handleIPv4(rest)
+	}
+}
+
+func (h *Host) handleARP(b []byte) {
+	a, err := packet.UnmarshalARP(b)
+	if err != nil {
+		return
+	}
+	// Opportunistically learn the sender's mapping.
+	if !a.SenderIP.IsZero() {
+		e := h.arp[a.SenderIP]
+		if e == nil {
+			e = &arpEntry{}
+			h.arp[a.SenderIP] = e
+		}
+		e.mac = a.SenderMAC
+		if e.waiting {
+			e.waiting = false
+			pending := e.pending
+			e.pending = nil
+			for _, p := range pending {
+				if f := p.build(e.mac); f != nil {
+					h.txIPv4++
+					h.nic.Send(f)
+				}
+			}
+		}
+	}
+	if a.Op == packet.ARPRequest && a.TargetIP == h.cfg.Addr {
+		reply := packet.ARP{
+			Op:        packet.ARPReply,
+			SenderMAC: h.MAC(),
+			SenderIP:  h.cfg.Addr,
+			TargetMAC: a.SenderMAC,
+			TargetIP:  a.SenderIP,
+		}
+		h.nic.Send(packet.BuildARP(h.MAC(), a.SenderMAC, reply))
+	}
+}
+
+func (h *Host) handleIPv4(b []byte) {
+	ip, payload, err := packet.UnmarshalIPv4(b)
+	if err != nil {
+		return
+	}
+	if ip.Dst != h.cfg.Addr && ip.Dst != (packet.Addr{255, 255, 255, 255}) {
+		if h.forwarder != nil {
+			h.forwarder.forward(ip, payload)
+			return
+		}
+		h.rxBadDst++
+		return
+	}
+	h.rxIPv4++
+	switch ip.Proto {
+	case packet.ProtoTCP:
+		h.handleTCP(ip, payload)
+	case packet.ProtoUDP:
+		h.handleUDP(ip, payload)
+	}
+}
+
+// Stats reports receive-path counters: IPv4 packets accepted, ARP packets
+// seen, frames addressed elsewhere, IPv4 packets sent, and IP packets whose
+// ARP resolution failed.
+func (h *Host) Stats() (rxIPv4, rxARP, rxBadDst, txIPv4, arpFailed uint64) {
+	return h.rxIPv4, h.rxARP, h.rxBadDst, h.txIPv4, h.arpFailed
+}

@@ -1,0 +1,187 @@
+package netstack
+
+import (
+	"testing"
+
+	"ddoshield/internal/netsim"
+	"ddoshield/internal/packet"
+	"ddoshield/internal/sim"
+)
+
+// twoSegmentTopology builds: hostA -- swA -- router -- swB -- hostB with
+// subnets 10.1.0.0/24 and 10.2.0.0/24. The returned switch is swB (the
+// destination segment), for taps.
+func twoSegmentTopology(t *testing.T) (*sim.Scheduler, *Host, *Host, *Router, *netsim.Switch) {
+	t.Helper()
+	s := sim.NewScheduler()
+	net := netsim.New(s)
+	swA, swB := net.NewSwitch("swA"), net.NewSwitch("swB")
+
+	subA := packet.MustParsePrefix("10.1.0.0/24")
+	subB := packet.MustParsePrefix("10.2.0.0/24")
+
+	r := NewRouter("r0", s)
+	rNicA := net.NewNode("router").AddNIC()
+	net.Connect(rNicA, swA.NewPort(), netsim.LinkConfig{})
+	r.AddInterface(rNicA, HostConfig{Addr: subA.Host(1), Subnet: subA, Seed: 1})
+	rNicB := net.NewNode("routerB").AddNIC()
+	net.Connect(rNicB, swB.NewPort(), netsim.LinkConfig{})
+	r.AddInterface(rNicB, HostConfig{Addr: subB.Host(1), Subnet: subB, Seed: 2})
+	if err := r.AddRoute(Route{Prefix: subA, IfIndex: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddRoute(Route{Prefix: subB, IfIndex: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	nicA := net.NewNode("hostA").AddNIC()
+	net.Connect(nicA, swA.NewPort(), netsim.LinkConfig{})
+	hostA := NewHost(nicA, HostConfig{Addr: subA.Host(10), Subnet: subA, Gateway: subA.Host(1), Seed: 3})
+
+	nicB := net.NewNode("hostB").AddNIC()
+	net.Connect(nicB, swB.NewPort(), netsim.LinkConfig{})
+	hostB := NewHost(nicB, HostConfig{Addr: subB.Host(10), Subnet: subB, Gateway: subB.Host(1), Seed: 4})
+
+	return s, hostA, hostB, r, swB
+}
+
+func TestRouterForwardsUDPAcrossSegments(t *testing.T) {
+	s, a, b, r, _ := twoSegmentTopology(t)
+	var got []byte
+	var from packet.Addr
+	if _, err := b.ListenUDP(9000, func(src packet.Addr, srcPort uint16, data []byte) {
+		from, got = src, data
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sock, err := a.ListenUDP(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock.SendTo(b.Addr(), 9000, []byte("across"))
+	s.Drain()
+	if string(got) != "across" {
+		t.Fatalf("got %q", got)
+	}
+	if from != a.Addr() {
+		t.Fatalf("from = %v", from)
+	}
+	fwd, _, _ := r.Stats()
+	if fwd == 0 {
+		t.Fatal("router forwarded nothing")
+	}
+}
+
+func TestRouterForwardsTCPAcrossSegments(t *testing.T) {
+	s, a, b, _, _ := twoSegmentTopology(t)
+	var rcvd []byte
+	if _, err := b.ListenTCP(80, 0, func(c *Conn) {
+		c.OnData = func(d []byte) { rcvd = append(rcvd, d...) }
+	}); err != nil {
+		t.Fatal(err)
+	}
+	conn := a.DialTCP(b.Addr(), 80)
+	connected := false
+	conn.OnConnect = func() {
+		connected = true
+		conn.Send([]byte("routed tcp"))
+	}
+	if err := s.Run(30 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !connected {
+		t.Fatal("handshake never completed across the router")
+	}
+	if string(rcvd) != "routed tcp" {
+		t.Fatalf("rcvd = %q", rcvd)
+	}
+}
+
+func TestRouterDecrementsTTL(t *testing.T) {
+	s, a, b, _, swB := twoSegmentTopology(t)
+	if _, err := b.ListenUDP(9000, func(packet.Addr, uint16, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	var ttl uint8
+	swB.AddTap(netsim.DecodeTap(func(p *packet.Packet) {
+		if p.HasUDP && p.IPv4.Dst == b.Addr() {
+			ttl = p.IPv4.TTL
+		}
+	}))
+	sock, err := a.ListenUDP(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock.SendTo(b.Addr(), 9000, []byte("x"))
+	s.Drain()
+	if ttl != 63 { // host TTL 64, one router hop
+		t.Fatalf("forwarded TTL = %d, want 63", ttl)
+	}
+	rx, _, _, _, _ := b.Stats()
+	if rx != 1 {
+		t.Fatalf("forwarded packet not delivered: rxIPv4=%d", rx)
+	}
+}
+
+func TestRouterTTLExpiry(t *testing.T) {
+	s, a, b, r, _ := twoSegmentTopology(t)
+	// Forge a TTL=1 packet from A toward B; the router must drop it.
+	var routerMAC packet.MAC
+	a.ResolveMAC(b.Addr(), func(mac packet.MAC, ok bool) { routerMAC = mac })
+	s.RunFor(sim.Second.Duration())
+	raw := packet.BuildUDP(a.MAC(), routerMAC,
+		packet.IPv4{TTL: 1, Src: a.Addr(), Dst: b.Addr()},
+		packet.UDP{SrcPort: 1, DstPort: 9000}, []byte("dying"))
+	a.SendRaw(raw)
+	s.Drain()
+	_, ttlExpired, _ := r.Stats()
+	if ttlExpired != 1 {
+		t.Fatalf("ttlExpired = %d, want 1", ttlExpired)
+	}
+	rx, _, _, _, _ := b.Stats()
+	if rx != 0 {
+		t.Fatal("TTL=1 packet crossed the router")
+	}
+}
+
+func TestRouterNoRouteDrop(t *testing.T) {
+	s, a, _, r, _ := twoSegmentTopology(t)
+	var routerMAC packet.MAC
+	a.ResolveMAC(packet.MustParseAddr("10.2.0.10"), func(mac packet.MAC, ok bool) { routerMAC = mac })
+	s.RunFor(sim.Second.Duration())
+	raw := packet.BuildUDP(a.MAC(), routerMAC,
+		packet.IPv4{TTL: 64, Src: a.Addr(), Dst: packet.MustParseAddr("172.16.0.1")},
+		packet.UDP{SrcPort: 1, DstPort: 9}, []byte("lost"))
+	a.SendRaw(raw)
+	s.Drain()
+	_, _, noRoute := r.Stats()
+	if noRoute != 1 {
+		t.Fatalf("noRoute = %d, want 1", noRoute)
+	}
+}
+
+func TestRouterRejectsBadRoute(t *testing.T) {
+	s := sim.NewScheduler()
+	r := NewRouter("r", s)
+	if err := r.AddRoute(Route{Prefix: packet.MustParsePrefix("10.0.0.0/8"), IfIndex: 3}); err == nil {
+		t.Fatal("accepted route to missing interface")
+	}
+}
+
+func TestRouterLongestPrefixMatch(t *testing.T) {
+	s, _, _, r, _ := twoSegmentTopology(t)
+	_ = s
+	// Add an overlapping more-specific route; lookup must prefer it.
+	specific := packet.MustParsePrefix("10.2.0.8/29")
+	if err := r.AddRoute(Route{Prefix: specific, IfIndex: 0}); err != nil {
+		t.Fatal(err)
+	}
+	rt, ok := r.lookup(packet.MustParseAddr("10.2.0.10"))
+	if !ok || rt.IfIndex != 0 {
+		t.Fatalf("lookup chose %+v", rt)
+	}
+	rt, ok = r.lookup(packet.MustParseAddr("10.2.0.100"))
+	if !ok || rt.IfIndex != 1 {
+		t.Fatalf("lookup chose %+v for general address", rt)
+	}
+}

@@ -1,0 +1,88 @@
+package netstack
+
+import (
+	"fmt"
+
+	"ddoshield/internal/packet"
+)
+
+// UDPHandler receives inbound datagrams on a bound socket.
+type UDPHandler func(src packet.Addr, srcPort uint16, data []byte)
+
+// UDPSocket is a bound UDP port.
+type UDPSocket struct {
+	host    *Host
+	port    uint16
+	handler UDPHandler
+	closed  bool
+
+	rxDgrams uint64
+	rxBytes  uint64
+	txDgrams uint64
+}
+
+// ListenUDP binds port and delivers inbound datagrams to handler.
+func (h *Host) ListenUDP(port uint16, handler UDPHandler) (*UDPSocket, error) {
+	if port == 0 {
+		port = h.nextEphemeralPort()
+	}
+	if _, used := h.udpSocks[port]; used {
+		return nil, fmt.Errorf("udp port %d already bound on %s", port, h.cfg.Addr)
+	}
+	s := &UDPSocket{host: h, port: port, handler: handler}
+	h.udpSocks[port] = s
+	return s, nil
+}
+
+// Port reports the bound local port.
+func (s *UDPSocket) Port() uint16 { return s.port }
+
+// SendTo transmits a datagram from the socket's port.
+func (s *UDPSocket) SendTo(dst packet.Addr, dstPort uint16, data []byte) {
+	if s.closed {
+		return
+	}
+	s.txDgrams++
+	s.host.sendUDP(s.port, dst, dstPort, data)
+}
+
+// Close releases the port.
+func (s *UDPSocket) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(s.host.udpSocks, s.port)
+}
+
+// Stats reports datagrams/bytes received and datagrams sent.
+func (s *UDPSocket) Stats() (rxDgrams, rxBytes, txDgrams uint64) {
+	return s.rxDgrams, s.rxBytes, s.txDgrams
+}
+
+// sendUDP builds and routes one datagram.
+func (h *Host) sendUDP(srcPort uint16, dst packet.Addr, dstPort uint16, data []byte) {
+	ip := packet.IPv4{TTL: h.cfg.TTL, ID: h.nextIPID(), Src: h.cfg.Addr, Dst: dst}
+	udp := packet.UDP{SrcPort: srcPort, DstPort: dstPort}
+	payload := make([]byte, len(data))
+	copy(payload, data)
+	h.sendIP(dst, func(dstMAC packet.MAC) []byte {
+		return packet.BuildUDP(h.MAC(), dstMAC, ip, udp, payload)
+	})
+}
+
+func (h *Host) handleUDP(ip packet.IPv4, payload []byte) {
+	udp, data, err := packet.UnmarshalUDP(payload, ip.Src, ip.Dst, true)
+	if err != nil {
+		return
+	}
+	s, ok := h.udpSocks[udp.DstPort]
+	if !ok {
+		return // no listener: a real stack would emit ICMP port-unreachable
+	}
+	s.rxDgrams++
+	s.rxBytes += uint64(len(data))
+	if s.handler != nil {
+		s.handler(ip.Src, udp.SrcPort, data)
+	}
+}

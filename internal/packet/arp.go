@@ -1,0 +1,57 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARPLen is the length of an IPv4-over-Ethernet ARP packet in bytes.
+const ARPLen = 28
+
+// ARP is an Address Resolution Protocol packet for IPv4 over Ethernet.
+type ARP struct {
+	Op        uint16
+	SenderMAC MAC
+	SenderIP  Addr
+	TargetMAC MAC
+	TargetIP  Addr
+}
+
+// Marshal appends the wire encoding of the ARP packet to b.
+func (a *ARP) Marshal(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, 1)      // hardware type: Ethernet
+	b = binary.BigEndian.AppendUint16(b, 0x0800) // protocol type: IPv4
+	b = append(b, 6, 4)                          // address lengths
+	b = binary.BigEndian.AppendUint16(b, a.Op)
+	b = append(b, a.SenderMAC[:]...)
+	b = append(b, a.SenderIP[:]...)
+	b = append(b, a.TargetMAC[:]...)
+	b = append(b, a.TargetIP[:]...)
+	return b
+}
+
+// UnmarshalARP decodes an IPv4-over-Ethernet ARP packet.
+func UnmarshalARP(b []byte) (ARP, error) {
+	if len(b) < ARPLen {
+		return ARP{}, fmt.Errorf("arp: packet too short (%d bytes)", len(b))
+	}
+	if ht := binary.BigEndian.Uint16(b[0:2]); ht != 1 {
+		return ARP{}, fmt.Errorf("arp: unsupported hardware type %d", ht)
+	}
+	if pt := binary.BigEndian.Uint16(b[2:4]); pt != 0x0800 {
+		return ARP{}, fmt.Errorf("arp: unsupported protocol type %#04x", pt)
+	}
+	var a ARP
+	a.Op = binary.BigEndian.Uint16(b[6:8])
+	copy(a.SenderMAC[:], b[8:14])
+	copy(a.SenderIP[:], b[14:18])
+	copy(a.TargetMAC[:], b[18:24])
+	copy(a.TargetIP[:], b[24:28])
+	return a, nil
+}

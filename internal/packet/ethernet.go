@@ -1,0 +1,46 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherType identifies the payload protocol of an Ethernet II frame.
+type EtherType uint16
+
+// EtherTypes carried on the simulated network.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeARP  EtherType = 0x0806
+)
+
+// EthernetHeaderLen is the length of an Ethernet II header in bytes.
+const EthernetHeaderLen = 14
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	Dst  MAC
+	Src  MAC
+	Type EtherType
+}
+
+// Marshal appends the wire encoding of the header to b and returns the
+// extended slice.
+func (h *Ethernet) Marshal(b []byte) []byte {
+	b = append(b, h.Dst[:]...)
+	b = append(b, h.Src[:]...)
+	return binary.BigEndian.AppendUint16(b, uint16(h.Type))
+}
+
+// UnmarshalEthernet decodes an Ethernet II header and returns it along with
+// the remaining payload bytes.
+func UnmarshalEthernet(b []byte) (Ethernet, []byte, error) {
+	if len(b) < EthernetHeaderLen {
+		return Ethernet{}, nil, fmt.Errorf("ethernet: frame too short (%d bytes)", len(b))
+	}
+	var h Ethernet
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.Type = EtherType(binary.BigEndian.Uint16(b[12:14]))
+	return h, b[EthernetHeaderLen:], nil
+}

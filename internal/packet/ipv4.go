@@ -1,0 +1,84 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IP protocol numbers carried by the testbed.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// IPv4HeaderLen is the length of an option-less IPv4 header in bytes.
+const IPv4HeaderLen = 20
+
+// IPv4 is an IPv4 header without options.
+type IPv4 struct {
+	TOS      uint8
+	TotalLen uint16 // header + payload, filled by Marshal when zero
+	ID       uint16
+	Flags    uint8  // 3-bit flags field (bit 1 = don't fragment)
+	FragOff  uint16 // 13-bit fragment offset, in 8-byte units
+	TTL      uint8
+	Proto    uint8
+	Checksum uint16 // filled by Marshal
+	Src      Addr
+	Dst      Addr
+}
+
+// Marshal appends the wire encoding of the header to b, computing TotalLen
+// (from payloadLen) and the header checksum.
+func (h *IPv4) Marshal(b []byte, payloadLen int) []byte {
+	total := uint16(IPv4HeaderLen + payloadLen)
+	h.TotalLen = total
+	start := len(b)
+	b = append(b, 0x45, h.TOS) // version 4, IHL 5
+	b = binary.BigEndian.AppendUint16(b, total)
+	b = binary.BigEndian.AppendUint16(b, h.ID)
+	b = binary.BigEndian.AppendUint16(b, uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	b = append(b, h.TTL, h.Proto)
+	b = append(b, 0, 0) // checksum placeholder
+	b = append(b, h.Src[:]...)
+	b = append(b, h.Dst[:]...)
+	cs := Checksum(b[start : start+IPv4HeaderLen])
+	h.Checksum = cs
+	binary.BigEndian.PutUint16(b[start+10:start+12], cs)
+	return b
+}
+
+// UnmarshalIPv4 decodes an IPv4 header, verifies its checksum, and returns
+// the header along with the payload bytes (trimmed to TotalLen).
+func UnmarshalIPv4(b []byte) (IPv4, []byte, error) {
+	if len(b) < IPv4HeaderLen {
+		return IPv4{}, nil, fmt.Errorf("ipv4: packet too short (%d bytes)", len(b))
+	}
+	if v := b[0] >> 4; v != 4 {
+		return IPv4{}, nil, fmt.Errorf("ipv4: bad version %d", v)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return IPv4{}, nil, fmt.Errorf("ipv4: bad header length %d", ihl)
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return IPv4{}, nil, fmt.Errorf("ipv4: header checksum mismatch")
+	}
+	var h IPv4
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	ff := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = uint8(ff >> 13)
+	h.FragOff = ff & 0x1fff
+	h.TTL = b[8]
+	h.Proto = b[9]
+	h.Checksum = binary.BigEndian.Uint16(b[10:12])
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	if int(h.TotalLen) < ihl || int(h.TotalLen) > len(b) {
+		return IPv4{}, nil, fmt.Errorf("ipv4: bad total length %d (frame %d)", h.TotalLen, len(b))
+	}
+	return h, b[ihl:h.TotalLen], nil
+}

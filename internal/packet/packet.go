@@ -1,0 +1,190 @@
+package packet
+
+import (
+	"fmt"
+
+	"ddoshield/internal/sim"
+)
+
+// Packet is a decoded view of one captured frame. Capture taps hand Packets
+// to the pcap writer and to the IDS feature extractor; the raw frame bytes
+// are retained so captures can be re-serialized losslessly.
+type Packet struct {
+	// Time is the simulated capture instant.
+	Time sim.Time
+	// Raw is the full frame as it appeared on the wire.
+	Raw []byte
+
+	Eth Ethernet
+	// L3 dissection. Exactly one of HasIPv4/HasARP is set for well-formed
+	// frames produced by the testbed.
+	HasIPv4 bool
+	IPv4    IPv4
+	HasARP  bool
+	ARP     ARP
+	// L4 dissection, present when HasIPv4 and the protocol is TCP or UDP.
+	HasTCP bool
+	TCP    TCP
+	HasUDP bool
+	UDP    UDP
+	// Payload is the transport payload (TCP/UDP), or the IP payload for
+	// other protocols.
+	Payload []byte
+}
+
+// Decode dissects a raw frame captured at time t. Dissection is best-effort:
+// a frame whose inner layers fail to parse is still returned with the layers
+// that did parse, because a flood tool may emit malformed packets on purpose.
+func Decode(t sim.Time, raw []byte) (*Packet, error) {
+	p := &Packet{Time: t, Raw: raw}
+	eth, rest, err := UnmarshalEthernet(raw)
+	if err != nil {
+		return nil, err
+	}
+	p.Eth = eth
+	switch eth.Type {
+	case EtherTypeARP:
+		arp, err := UnmarshalARP(rest)
+		if err != nil {
+			return p, nil
+		}
+		p.HasARP = true
+		p.ARP = arp
+	case EtherTypeIPv4:
+		ip, payload, err := UnmarshalIPv4(rest)
+		if err != nil {
+			return p, nil
+		}
+		p.HasIPv4 = true
+		p.IPv4 = ip
+		p.Payload = payload
+		switch ip.Proto {
+		case ProtoTCP:
+			tcp, data, err := UnmarshalTCP(payload, ip.Src, ip.Dst, false)
+			if err == nil {
+				p.HasTCP = true
+				p.TCP = tcp
+				p.Payload = data
+			}
+		case ProtoUDP:
+			udp, data, err := UnmarshalUDP(payload, ip.Src, ip.Dst, false)
+			if err == nil {
+				p.HasUDP = true
+				p.UDP = udp
+				p.Payload = data
+			}
+		}
+	}
+	return p, nil
+}
+
+// Len reports the on-wire frame length in bytes.
+func (p *Packet) Len() int { return len(p.Raw) }
+
+// Proto reports the IP protocol number, or 0 for non-IP frames.
+func (p *Packet) Proto() uint8 {
+	if !p.HasIPv4 {
+		return 0
+	}
+	return p.IPv4.Proto
+}
+
+// SrcPort reports the transport source port, or 0 when not applicable.
+func (p *Packet) SrcPort() uint16 {
+	switch {
+	case p.HasTCP:
+		return p.TCP.SrcPort
+	case p.HasUDP:
+		return p.UDP.SrcPort
+	}
+	return 0
+}
+
+// DstPort reports the transport destination port, or 0 when not applicable.
+func (p *Packet) DstPort() uint16 {
+	switch {
+	case p.HasTCP:
+		return p.TCP.DstPort
+	case p.HasUDP:
+		return p.UDP.DstPort
+	}
+	return 0
+}
+
+// FlowKey identifies the unidirectional 5-tuple flow the packet belongs to.
+type FlowKey struct {
+	Src     Addr
+	Dst     Addr
+	Proto   uint8
+	SrcPort uint16
+	DstPort uint16
+}
+
+// Flow returns the packet's unidirectional flow key (zero ports for non-TCP/UDP).
+func (p *Packet) Flow() FlowKey {
+	k := FlowKey{Proto: p.Proto(), SrcPort: p.SrcPort(), DstPort: p.DstPort()}
+	if p.HasIPv4 {
+		k.Src = p.IPv4.Src
+		k.Dst = p.IPv4.Dst
+	}
+	return k
+}
+
+// Reverse returns the flow key of the opposite direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{Src: k.Dst, Dst: k.Src, Proto: k.Proto, SrcPort: k.DstPort, DstPort: k.SrcPort}
+}
+
+// String renders a tcpdump-style one-line summary.
+func (p *Packet) String() string {
+	switch {
+	case p.HasTCP:
+		return fmt.Sprintf("%s %s:%d > %s:%d TCP [%s] seq=%d ack=%d len=%d",
+			p.Time, p.IPv4.Src, p.TCP.SrcPort, p.IPv4.Dst, p.TCP.DstPort,
+			FlagString(p.TCP.Flags), p.TCP.Seq, p.TCP.Ack, len(p.Payload))
+	case p.HasUDP:
+		return fmt.Sprintf("%s %s:%d > %s:%d UDP len=%d",
+			p.Time, p.IPv4.Src, p.UDP.SrcPort, p.IPv4.Dst, p.UDP.DstPort, len(p.Payload))
+	case p.HasARP:
+		op := "request"
+		if p.ARP.Op == ARPReply {
+			op = "reply"
+		}
+		return fmt.Sprintf("%s ARP %s %s -> %s", p.Time, op, p.ARP.SenderIP, p.ARP.TargetIP)
+	case p.HasIPv4:
+		return fmt.Sprintf("%s %s > %s proto=%d len=%d",
+			p.Time, p.IPv4.Src, p.IPv4.Dst, p.IPv4.Proto, len(p.Payload))
+	}
+	return fmt.Sprintf("%s %s > %s ethertype=%#04x len=%d",
+		p.Time, p.Eth.Src, p.Eth.Dst, uint16(p.Eth.Type), len(p.Raw))
+}
+
+// BuildTCP assembles a complete Ethernet+IPv4+TCP frame. It is the low-level
+// builder used by the netstack and, directly, by the Mirai flood engines
+// (which forge headers without a connection, exactly as the real malware's
+// raw-socket attacks do).
+func BuildTCP(srcMAC, dstMAC MAC, ip IPv4, tcp TCP, payload []byte) []byte {
+	ip.Proto = ProtoTCP
+	eth := Ethernet{Dst: dstMAC, Src: srcMAC, Type: EtherTypeIPv4}
+	seg := tcp.Marshal(nil, ip.Src, ip.Dst, payload)
+	b := eth.Marshal(make([]byte, 0, EthernetHeaderLen+IPv4HeaderLen+len(seg)))
+	b = ip.Marshal(b, len(seg))
+	return append(b, seg...)
+}
+
+// BuildUDP assembles a complete Ethernet+IPv4+UDP frame.
+func BuildUDP(srcMAC, dstMAC MAC, ip IPv4, udp UDP, payload []byte) []byte {
+	ip.Proto = ProtoUDP
+	eth := Ethernet{Dst: dstMAC, Src: srcMAC, Type: EtherTypeIPv4}
+	seg := udp.Marshal(nil, ip.Src, ip.Dst, payload)
+	b := eth.Marshal(make([]byte, 0, EthernetHeaderLen+IPv4HeaderLen+len(seg)))
+	b = ip.Marshal(b, len(seg))
+	return append(b, seg...)
+}
+
+// BuildARP assembles a complete Ethernet+ARP frame.
+func BuildARP(srcMAC, dstMAC MAC, a ARP) []byte {
+	eth := Ethernet{Dst: dstMAC, Src: srcMAC, Type: EtherTypeARP}
+	b := eth.Marshal(make([]byte, 0, EthernetHeaderLen+ARPLen))
+	return a.Marshal(b)
+}

@@ -1,0 +1,98 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// TCP flag bits.
+const (
+	FlagFIN uint8 = 1 << 0
+	FlagSYN uint8 = 1 << 1
+	FlagRST uint8 = 1 << 2
+	FlagPSH uint8 = 1 << 3
+	FlagACK uint8 = 1 << 4
+	FlagURG uint8 = 1 << 5
+)
+
+// FlagString renders a TCP flag byte as "SYN|ACK"-style text.
+func FlagString(f uint8) string {
+	names := []struct {
+		bit  uint8
+		name string
+	}{
+		{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"},
+		{FlagRST, "RST"}, {FlagPSH, "PSH"}, {FlagURG, "URG"},
+	}
+	var parts []string
+	for _, n := range names {
+		if f&n.bit != 0 {
+			parts = append(parts, n.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "|")
+}
+
+// TCPHeaderLen is the length of an option-less TCP header in bytes.
+const TCPHeaderLen = 20
+
+// TCP is a TCP header without options.
+type TCP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Seq      uint32
+	Ack      uint32
+	Flags    uint8
+	Window   uint16
+	Checksum uint16 // filled by Marshal
+	Urgent   uint16
+}
+
+// Marshal appends the wire encoding of the header plus payload to b,
+// computing the transport checksum over the (src, dst) pseudo-header.
+func (h *TCP) Marshal(b []byte, src, dst Addr, payload []byte) []byte {
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, h.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, h.DstPort)
+	b = binary.BigEndian.AppendUint32(b, h.Seq)
+	b = binary.BigEndian.AppendUint32(b, h.Ack)
+	b = append(b, 5<<4, h.Flags) // data offset 5 words
+	b = binary.BigEndian.AppendUint16(b, h.Window)
+	b = append(b, 0, 0) // checksum placeholder
+	b = binary.BigEndian.AppendUint16(b, h.Urgent)
+	b = append(b, payload...)
+	cs := TransportChecksum(src, dst, ProtoTCP, b[start:])
+	h.Checksum = cs
+	binary.BigEndian.PutUint16(b[start+16:start+18], cs)
+	return b
+}
+
+// UnmarshalTCP decodes a TCP header and returns it with the payload bytes.
+// When verify is true the transport checksum is validated against the
+// pseudo-header built from src and dst.
+func UnmarshalTCP(b []byte, src, dst Addr, verify bool) (TCP, []byte, error) {
+	if len(b) < TCPHeaderLen {
+		return TCP{}, nil, fmt.Errorf("tcp: segment too short (%d bytes)", len(b))
+	}
+	off := int(b[12]>>4) * 4
+	if off < TCPHeaderLen || off > len(b) {
+		return TCP{}, nil, fmt.Errorf("tcp: bad data offset %d", off)
+	}
+	if verify && TransportChecksum(src, dst, ProtoTCP, b) != 0 {
+		return TCP{}, nil, fmt.Errorf("tcp: checksum mismatch")
+	}
+	var h TCP
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Seq = binary.BigEndian.Uint32(b[4:8])
+	h.Ack = binary.BigEndian.Uint32(b[8:12])
+	h.Flags = b[13]
+	h.Window = binary.BigEndian.Uint16(b[14:16])
+	h.Checksum = binary.BigEndian.Uint16(b[16:18])
+	h.Urgent = binary.BigEndian.Uint16(b[18:20])
+	return h, b[off:], nil
+}

@@ -1,0 +1,58 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// UDPHeaderLen is the length of a UDP header in bytes.
+const UDPHeaderLen = 8
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16 // header + payload, filled by Marshal
+	Checksum uint16 // filled by Marshal
+}
+
+// Marshal appends the wire encoding of the header plus payload to b,
+// computing the transport checksum over the (src, dst) pseudo-header.
+func (h *UDP) Marshal(b []byte, src, dst Addr, payload []byte) []byte {
+	start := len(b)
+	h.Length = uint16(UDPHeaderLen + len(payload))
+	b = binary.BigEndian.AppendUint16(b, h.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, h.DstPort)
+	b = binary.BigEndian.AppendUint16(b, h.Length)
+	b = append(b, 0, 0) // checksum placeholder
+	b = append(b, payload...)
+	cs := TransportChecksum(src, dst, ProtoUDP, b[start:])
+	if cs == 0 {
+		cs = 0xffff // RFC 768: transmitted zero means "no checksum"
+	}
+	h.Checksum = cs
+	binary.BigEndian.PutUint16(b[start+6:start+8], cs)
+	return b
+}
+
+// UnmarshalUDP decodes a UDP header and returns it with the payload bytes.
+// When verify is true the transport checksum is validated.
+func UnmarshalUDP(b []byte, src, dst Addr, verify bool) (UDP, []byte, error) {
+	if len(b) < UDPHeaderLen {
+		return UDP{}, nil, fmt.Errorf("udp: datagram too short (%d bytes)", len(b))
+	}
+	var h UDP
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Length = binary.BigEndian.Uint16(b[4:6])
+	h.Checksum = binary.BigEndian.Uint16(b[6:8])
+	if int(h.Length) < UDPHeaderLen || int(h.Length) > len(b) {
+		return UDP{}, nil, fmt.Errorf("udp: bad length %d (datagram %d)", h.Length, len(b))
+	}
+	if verify && h.Checksum != 0 {
+		if TransportChecksum(src, dst, ProtoUDP, b[:h.Length]) != 0 {
+			return UDP{}, nil, fmt.Errorf("udp: checksum mismatch")
+		}
+	}
+	return h, b[UDPHeaderLen:h.Length], nil
+}

@@ -1,0 +1,114 @@
+// Package report renders experiment series as terminal graphics: unicode
+// sparklines and labeled ASCII bar charts, so cmd/benchtables can show the
+// paper's figures (per-second accuracy dips, throughput under attack,
+// connected-bots population) directly in the terminal next to their CSV.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as one line of unicode block characters, scaled
+// between lo and hi. Pass lo==hi to auto-scale to the data range.
+func Sparkline(vals []float64, lo, hi float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	if lo == hi {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, v := range vals {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if lo == hi { // constant series
+			hi = lo + 1
+		}
+	}
+	var b strings.Builder
+	span := hi - lo
+	for _, v := range vals {
+		t := (v - lo) / span
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		idx := int(t * float64(len(sparkLevels)-1))
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// Downsample reduces vals to at most width points by bucket-averaging, so
+// long series fit a terminal row.
+func Downsample(vals []float64, width int) []float64 {
+	if width <= 0 || len(vals) <= width {
+		out := make([]float64, len(vals))
+		copy(out, vals)
+		return out
+	}
+	out := make([]float64, width)
+	for i := 0; i < width; i++ {
+		lo := i * len(vals) / width
+		hi := (i + 1) * len(vals) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var s float64
+		for _, v := range vals[lo:hi] {
+			s += v
+		}
+		out[i] = s / float64(hi-lo)
+	}
+	return out
+}
+
+// Bar renders one labeled horizontal bar scaled to max (value max fills
+// width runes).
+func Bar(label string, value, max float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	n := 0
+	if max > 0 {
+		n = int(value / max * float64(width))
+	}
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return fmt.Sprintf("%-10s %s%s %.2f", label,
+		strings.Repeat("█", n), strings.Repeat("·", width-n), value)
+}
+
+// BarChart renders one bar per (label, value) pair, scaled to the largest
+// value.
+func BarChart(labels []string, values []float64, width int) string {
+	var max float64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for i := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		b.WriteString(Bar(label, values[i], max, width))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

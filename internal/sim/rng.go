@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic pseudo-random stream. Every stochastic component of
+// the testbed (traffic arrival processes, Mirai scanner target selection,
+// flood payload generation, ML initialization) draws from its own named
+// stream so that changing one component does not perturb the others — the
+// same discipline NS-3 enforces with its RngStream substreams.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Substream derives an independent child stream from a parent seed and a
+// component label, by mixing the label into the seed with an FNV-style hash.
+func Substream(seed int64, label string) *RNG {
+	h := uint64(seed) * 0x9E3779B97F4A7C15
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001B3
+	}
+	return NewRNG(int64(h))
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Uint32 returns a uniform uint32.
+func (g *RNG) Uint32() uint32 { return g.r.Uint32() }
+
+// Uint64 returns a uniform uint64.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// NormFloat64 returns a standard-normal variate.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Exp returns an exponential variate with the given mean (>0). Exponential
+// inter-arrival times drive the Poisson arrival processes used for benign
+// request workloads.
+func (g *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}
+
+// Uniform returns a uniform variate in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.r.Float64()*(hi-lo)
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation, truncated below at lo (useful for strictly positive sizes).
+func (g *RNG) Normal(mean, stddev, lo float64) float64 {
+	v := mean + g.r.NormFloat64()*stddev
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// Pareto returns a bounded Pareto variate with shape alpha and scale xm.
+// Heavy-tailed Pareto sizes model file-transfer and video-segment lengths.
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		return xm
+	}
+	u := g.r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return xm / math.Pow(1-u, 1/alpha)
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Pick returns a uniformly chosen element of choices.
+func Pick[T any](g *RNG, choices []T) T {
+	return choices[g.Intn(len(choices))]
+}
+
+// Bytes fills b with pseudo-random bytes (flood payloads, stream data).
+func (g *RNG) Bytes(b []byte) {
+	// math/rand.Read never returns an error.
+	_, _ = g.r.Read(b)
+}

@@ -1,0 +1,286 @@
+// Package sim provides the discrete-event simulation engine that underpins
+// the DDoShield-IoT testbed. It plays the role NS-3's core module plays in
+// the paper: a virtual clock, an ordered event queue, and deterministic
+// pseudo-random number streams so that every experiment is reproducible
+// bit-for-bit from its seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is an instant on the simulated clock, expressed as nanoseconds since
+// the beginning of the simulation. It is distinct from wall-clock time: a
+// ten-minute simulated run (the paper's dataset-generation phase) typically
+// executes in seconds of real time.
+type Time int64
+
+// Common simulated-time unit anchors, mirroring time.Duration's constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+)
+
+// Duration returns the simulated instant as a time.Duration offset from the
+// simulation epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns the simulated instant as fractional seconds since the
+// simulation epoch.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add offsets the instant by a real-duration amount of simulated time.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// String renders the instant in time.Duration notation (e.g. "1.5s").
+func (t Time) String() string { return time.Duration(t).String() }
+
+// FromDuration converts a duration-since-epoch into a simulated instant.
+func FromDuration(d time.Duration) Time { return Time(d) }
+
+// Handler is a callback scheduled to run at a simulated instant.
+type Handler func()
+
+// Event is a scheduled callback. Events are ordered by firing time; events
+// scheduled for the same instant fire in scheduling order (FIFO), which
+// keeps the simulation deterministic.
+type Event struct {
+	at      Time
+	seq     uint64
+	index   int // heap index; -1 once removed
+	fn      Handler
+	cancel  bool
+	blocked bool
+}
+
+// At reports the instant the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+// eventQueue is a min-heap of events ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// ErrStopped is returned by Run when the simulation was halted with Stop
+// before reaching its horizon.
+var ErrStopped = errors.New("simulation stopped")
+
+// Scheduler is the simulation kernel: it owns the virtual clock and the
+// event queue. A Scheduler is not safe for concurrent use; the entire
+// simulated world runs on a single logical thread, exactly as an NS-3
+// simulation does.
+type Scheduler struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	stopped bool
+	fired   uint64
+}
+
+// NewScheduler returns a scheduler with the clock at the simulation epoch.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now reports the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len reports the number of pending (not yet fired, not cancelled) events.
+func (s *Scheduler) Len() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// Fired reports the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at the absolute simulated instant t. Scheduling in
+// the past is an error that would break causality, so it is clamped to the
+// current instant instead.
+func (s *Scheduler) At(t Time, fn Handler) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	ev := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d of simulated time from now.
+func (s *Scheduler) After(d time.Duration, fn Handler) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Every schedules fn to run every interval of simulated time, starting one
+// interval from now, until the returned Ticker is stopped.
+func (s *Scheduler) Every(interval time.Duration, fn Handler) *Ticker {
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	t := &Ticker{s: s, interval: interval, fn: fn}
+	t.schedule()
+	return t
+}
+
+// Stop halts the simulation: Run returns ErrStopped after the current event
+// finishes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Step fires the single earliest pending event and advances the clock to
+// its instant. It reports false when no events remain.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev, ok := heap.Pop(&s.queue).(*Event)
+		if !ok {
+			return false
+		}
+		if ev.cancel {
+			continue
+		}
+		s.now = ev.at
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in order until the clock passes horizon, the queue
+// drains, or Stop is called. Events scheduled exactly at the horizon still
+// fire. It returns ErrStopped if halted early, nil otherwise.
+func (s *Scheduler) Run(horizon Time) error {
+	if s.running {
+		return errors.New("scheduler already running")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		next := s.queue[0]
+		if next.cancel {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > horizon {
+			break
+		}
+		s.Step()
+	}
+	// The horizon was reached (or the queue drained): advance the clock so
+	// Now() reflects the full span that was simulated.
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return nil
+}
+
+// RunFor executes events for d of simulated time from the current instant.
+func (s *Scheduler) RunFor(d time.Duration) error {
+	return s.Run(s.now.Add(d))
+}
+
+// Drain runs until the event queue is empty (no horizon). Useful in tests.
+func (s *Scheduler) Drain() {
+	for s.Step() {
+	}
+}
+
+// Ticker repeatedly fires a handler at a fixed simulated interval.
+type Ticker struct {
+	s        *Scheduler
+	interval time.Duration
+	fn       Handler
+	pending  *Event
+	stopped  bool
+	ticks    uint64
+}
+
+func (t *Ticker) schedule() {
+	t.pending = t.s.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.ticks++
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels all future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.pending != nil {
+		t.pending.Cancel()
+	}
+}
+
+// Ticks reports how many times the ticker has fired.
+func (t *Ticker) Ticks() uint64 { return t.ticks }
+
+// Interval reports the tick interval.
+func (t *Ticker) Interval() time.Duration { return t.interval }
+
+// String summarizes scheduler state, for debugging.
+func (s *Scheduler) String() string {
+	return fmt.Sprintf("sim.Scheduler{now=%s pending=%d fired=%d}", s.now, len(s.queue), s.fired)
+}

@@ -1,0 +1,407 @@
+// Package testbed is DDoShield-IoT itself: the orchestrator that assembles
+// the Fig. 1 topology — the Attacker container, the Dev fleet, the TServer
+// with its three benign-traffic servers (Apache/HTTP, Nginx-RTMP/video,
+// custom FTP) and the IDS container — on one simulated switched network,
+// runs the Mirai campaign phases, and exposes the capture, labeling and
+// measurement hooks the experiments need.
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"ddoshield/internal/apps/ftpapp"
+	"ddoshield/internal/apps/httpapp"
+	"ddoshield/internal/apps/rtmpapp"
+	"ddoshield/internal/botnet"
+	"ddoshield/internal/container"
+	"ddoshield/internal/dataset"
+	"ddoshield/internal/devices"
+	"ddoshield/internal/features"
+	"ddoshield/internal/netsim"
+	"ddoshield/internal/netstack"
+	"ddoshield/internal/packet"
+	"ddoshield/internal/sim"
+)
+
+// Well-known testbed addresses inside the default 10.0.0.0/16 subnet.
+var (
+	// DefaultSubnet is the simulated LAN.
+	DefaultSubnet = packet.MustParsePrefix("10.0.0.0/16")
+	// DefaultSpoofRange supplies forged flood sources; it is inside the
+	// subnet but never assigned to a real host, so it doubles as an exact
+	// ground-truth marker.
+	DefaultSpoofRange = packet.MustParsePrefix("10.0.200.0/22")
+
+	addrTServer  = packet.MustParseAddr("10.0.1.1")
+	addrIDS      = packet.MustParseAddr("10.0.1.2")
+	addrC2       = packet.MustParseAddr("10.0.0.2")
+	addrAttacker = packet.MustParseAddr("10.0.0.3")
+)
+
+// deviceAddr returns the i-th device address (10.0.2.x plane).
+func deviceAddr(i int) packet.Addr {
+	return packet.AddrFrom4(10, 0, 2, byte(10+i))
+}
+
+// ChurnConfig models device reboots: exponential up-times and down-times.
+// A rebooted device loses its infection (Mirai is memory-resident).
+type ChurnConfig struct {
+	// Enabled turns churn on.
+	Enabled bool
+	// MeanUp is the mean time a device stays up (default 2 min).
+	MeanUp time.Duration
+	// MeanDown is the mean reboot outage (default 5 s).
+	MeanDown time.Duration
+}
+
+// Config assembles a testbed.
+type Config struct {
+	// Seed drives every stochastic component.
+	Seed int64
+	// NumDevices is the Dev fleet size (default 10, max 200).
+	NumDevices int
+	// Profiles cycles device classes (default devices.DefaultFleet).
+	Profiles []devices.Profile
+	// MeanThink is the base benign think time per device (default 5 s).
+	MeanThink time.Duration
+	// ScanInterval paces the attacker's telnet scanner (default 200 ms).
+	ScanInterval time.Duration
+	// Link is the access-link configuration (defaults: 100 Mb/s, 1 ms).
+	Link netsim.LinkConfig
+	// Churn configures device reboots.
+	Churn ChurnConfig
+	// TapSwitch captures at the switch (all segment traffic) instead of
+	// the TServer uplink only.
+	TapSwitch bool
+	// ReinfectCooldown is how long the loader leaves a freshly infected
+	// device alone before re-probing (default 45 s, so churned devices
+	// rejoin the botnet quickly at testbed timescales).
+	ReinfectCooldown time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumDevices <= 0 {
+		c.NumDevices = 10
+	}
+	if c.NumDevices > 200 {
+		c.NumDevices = 200
+	}
+	if len(c.Profiles) == 0 {
+		c.Profiles = devices.DefaultFleet
+	}
+	if c.MeanThink <= 0 {
+		c.MeanThink = 5 * time.Second
+	}
+	if c.ScanInterval <= 0 {
+		c.ScanInterval = 200 * time.Millisecond
+	}
+	if c.Churn.MeanUp <= 0 {
+		c.Churn.MeanUp = 2 * time.Minute
+	}
+	if c.Churn.MeanDown <= 0 {
+		c.Churn.MeanDown = 5 * time.Second
+	}
+	if c.ReinfectCooldown <= 0 {
+		c.ReinfectCooldown = 45 * time.Second
+	}
+	return c
+}
+
+// DeviceHandle pairs a device with its container.
+type DeviceHandle struct {
+	Container *container.Container
+	Device    *devices.Device
+}
+
+// Testbed is an assembled DDoShield-IoT instance.
+type Testbed struct {
+	cfg     Config
+	sched   *sim.Scheduler
+	network *netsim.Network
+	runtime *container.Runtime
+	sw      *netsim.Switch
+
+	tserver   *container.Container
+	idsC      *container.Container
+	c2C       *container.Container
+	attackerC *container.Container
+	devs      []DeviceHandle
+
+	httpSrv  *httpapp.Server
+	rtmpSrv  *rtmpapp.Server
+	ftpSrv   *ftpapp.Server
+	c2       *botnet.C2
+	attacker *botnet.Attacker
+
+	churnRNG *sim.RNG
+	started  bool
+}
+
+// New assembles the full topology. Nothing runs until Start.
+func New(cfg Config) (*Testbed, error) {
+	cfg = cfg.withDefaults()
+	tb := &Testbed{
+		cfg:      cfg,
+		sched:    sim.NewScheduler(),
+		churnRNG: sim.Substream(cfg.Seed, "testbed/churn"),
+	}
+	tb.network = netsim.New(tb.sched)
+	tb.runtime = container.NewRuntime(tb.network)
+	tb.sw = tb.network.NewSwitch("lan0")
+
+	hostCfg := func(addr packet.Addr) netstack.HostConfig {
+		return netstack.HostConfig{
+			Addr:   addr,
+			Subnet: DefaultSubnet,
+			Seed:   cfg.Seed ^ int64(addr.Uint32()),
+		}
+	}
+
+	// TServer: the three benign servers in one container.
+	tb.httpSrv = httpapp.NewServer(httpapp.ServerConfig{Seed: cfg.Seed + 101})
+	tb.rtmpSrv = rtmpapp.NewServer(rtmpapp.ServerConfig{Seed: cfg.Seed + 102})
+	tb.ftpSrv = ftpapp.NewServer(ftpapp.ServerConfig{Seed: cfg.Seed + 103})
+	tserverApp := container.AppFuncs{
+		OnStart: func(c *container.Container) {
+			// Ports are fresh at each container start.
+			if err := tb.httpSrv.Attach(c.Host()); err != nil {
+				return
+			}
+			if err := tb.rtmpSrv.Attach(c.Host()); err != nil {
+				return
+			}
+			_ = tb.ftpSrv.Attach(c.Host())
+		},
+		OnStop: func() {
+			tb.httpSrv.Detach()
+			tb.rtmpSrv.Detach()
+			tb.ftpSrv.Detach()
+		},
+	}
+	var err error
+	tb.tserver, err = tb.runtime.Create(container.Spec{
+		Name: "tserver", Image: "tserver:apache-nginx-ftp",
+		Host: hostCfg(addrTServer), App: tserverApp,
+	}, tb.sw, cfg.Link)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+
+	// IDS container: passive; detection units meter into it.
+	tb.idsC, err = tb.runtime.Create(container.Spec{
+		Name: "ids", Image: "ids:realtime",
+		Host: hostCfg(addrIDS),
+	}, tb.sw, cfg.Link)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+
+	// C2 container.
+	tb.c2 = botnet.NewC2(0)
+	c2App := container.AppFuncs{
+		OnStart: func(c *container.Container) { _ = tb.c2.Attach(c.Host()) },
+		OnStop:  func() { tb.c2.Detach() },
+	}
+	tb.c2C, err = tb.runtime.Create(container.Spec{
+		Name: "c2", Image: "mirai:cnc",
+		Host: hostCfg(addrC2), App: c2App,
+	}, tb.sw, cfg.Link)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+
+	// Attacker container: scanner + loader over the device address plane.
+	tb.attacker = botnet.NewAttacker(botnet.AttackerConfig{
+		TargetRange:       packet.MustParsePrefix("10.0.2.0/24"),
+		C2Addr:            addrC2,
+		C2Port:            tb.c2.Port(),
+		MeanProbeInterval: cfg.ScanInterval,
+		ReinfectCooldown:  cfg.ReinfectCooldown,
+		Seed:              cfg.Seed + 301,
+	})
+	atkApp := container.AppFuncs{
+		OnStart: func(c *container.Container) { tb.attacker.Attach(c.Host()) },
+		OnStop:  func() { tb.attacker.Detach() },
+	}
+	tb.attackerC, err = tb.runtime.Create(container.Spec{
+		Name: "attacker", Image: "mirai:loader",
+		Host: hostCfg(addrAttacker), App: atkApp,
+	}, tb.sw, cfg.Link)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+
+	// Device fleet.
+	for i := 0; i < cfg.NumDevices; i++ {
+		profile := cfg.Profiles[i%len(cfg.Profiles)]
+		name := fmt.Sprintf("dev%02d-%s", i, profile.Kind)
+		dev := devices.New(devices.Config{
+			Name:       name,
+			Profile:    profile,
+			TServer:    addrTServer,
+			SpoofRange: DefaultSpoofRange,
+			Seed:       cfg.Seed + 1000 + int64(i)*13,
+			MeanThink:  cfg.MeanThink,
+		})
+		devC, err := tb.runtime.Create(container.Spec{
+			Name: name, Image: "iot:" + profile.Kind,
+			Host: hostCfg(deviceAddr(i)), App: dev,
+		}, tb.sw, cfg.Link)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: %w", err)
+		}
+		tb.devs = append(tb.devs, DeviceHandle{Container: devC, Device: dev})
+	}
+	return tb, nil
+}
+
+// Start brings every container up (TServer first, then C2, attacker and
+// devices) and, when churn is enabled, schedules device reboots.
+func (tb *Testbed) Start() {
+	if tb.started {
+		return
+	}
+	tb.started = true
+	tb.tserver.Start()
+	tb.idsC.Start()
+	tb.c2C.Start()
+	tb.attackerC.Start()
+	for i := range tb.devs {
+		tb.devs[i].Container.Start()
+		if tb.cfg.Churn.Enabled {
+			tb.scheduleChurn(tb.devs[i].Container)
+		}
+	}
+}
+
+// scheduleChurn arms the next reboot for one device container.
+func (tb *Testbed) scheduleChurn(c *container.Container) {
+	up := time.Duration(tb.churnRNG.Exp(float64(tb.cfg.Churn.MeanUp)))
+	tb.sched.After(up, func() {
+		if c.State() != container.StateRunning {
+			return
+		}
+		c.Stop()
+		down := time.Duration(tb.churnRNG.Exp(float64(tb.cfg.Churn.MeanDown)))
+		tb.sched.After(down, func() {
+			c.Start()
+			tb.scheduleChurn(c)
+		})
+	})
+}
+
+// Run advances the simulation by d.
+func (tb *Testbed) Run(d time.Duration) error {
+	return tb.sched.RunFor(d)
+}
+
+// Scheduler exposes the simulation scheduler.
+func (tb *Testbed) Scheduler() *sim.Scheduler { return tb.sched }
+
+// Network exposes the simulated network.
+func (tb *Testbed) Network() *netsim.Network { return tb.network }
+
+// Switch exposes the LAN switch (for span-port taps).
+func (tb *Testbed) Switch() *netsim.Switch { return tb.sw }
+
+// TServer exposes the target-server container.
+func (tb *Testbed) TServer() *container.Container { return tb.tserver }
+
+// TServerAddr reports the TServer address.
+func (tb *Testbed) TServerAddr() packet.Addr { return addrTServer }
+
+// IDSContainer exposes the IDS container (detection units meter into it).
+func (tb *Testbed) IDSContainer() *container.Container { return tb.idsC }
+
+// C2 exposes the command-and-control server.
+func (tb *Testbed) C2() *botnet.C2 { return tb.c2 }
+
+// Attacker exposes the scan-and-infect component.
+func (tb *Testbed) Attacker() *botnet.Attacker { return tb.attacker }
+
+// Devices lists the fleet.
+func (tb *Testbed) Devices() []DeviceHandle {
+	out := make([]DeviceHandle, len(tb.devs))
+	copy(out, tb.devs)
+	return out
+}
+
+// InfectedCount reports devices currently carrying a bot.
+func (tb *Testbed) InfectedCount() int {
+	n := 0
+	for i := range tb.devs {
+		if tb.devs[i].Device.Infected() {
+			n++
+		}
+	}
+	return n
+}
+
+// HTTPServer, VideoServer, FTPServer expose the TServer's benign services.
+func (tb *Testbed) HTTPServer() *httpapp.Server  { return tb.httpSrv }
+func (tb *Testbed) VideoServer() *rtmpapp.Server { return tb.rtmpSrv }
+func (tb *Testbed) FTPServer() *ftpapp.Server    { return tb.ftpSrv }
+
+// AddTap installs a capture tap at the configured observation point: the
+// TServer uplink by default (where benign and attack traffic converge, as
+// the paper's IDS observes), or the whole switch with Config.TapSwitch.
+func (tb *Testbed) AddTap(tap netsim.Tap) {
+	if tb.cfg.TapSwitch {
+		tb.sw.AddTap(tap)
+		return
+	}
+	tb.tserver.Link().AddTap(tap)
+}
+
+// ScheduleAttack broadcasts one C2 command at the given offset from
+// simulation start. Unlike C2.ScheduleAttack it is safe to call before
+// Start (it runs on the testbed's scheduler).
+func (tb *Testbed) ScheduleAttack(at time.Duration, cmd botnet.Command) {
+	tb.sched.At(sim.FromDuration(at), func() { tb.c2.Broadcast(cmd) })
+}
+
+// ScheduleAttackWave schedules a sequence of C2 attack commands, the first
+// at start, each subsequent one gap after the previous ends.
+func (tb *Testbed) ScheduleAttackWave(start time.Duration, gap time.Duration, cmds []botnet.Command) {
+	at := start
+	for _, cmd := range cmds {
+		tb.ScheduleAttack(at, cmd)
+		at += cmd.Duration + gap
+	}
+}
+
+// DefaultAttackWave builds the paper's three vectors against the TServer:
+// SYN flood on :80, ACK flood on :80, UDP flood on random ports.
+func (tb *Testbed) DefaultAttackWave(dur time.Duration, pps int) []botnet.Command {
+	return []botnet.Command{
+		{Type: botnet.AttackSYN, Target: addrTServer, Port: httpapp.DefaultPort, Duration: dur, PPS: pps},
+		{Type: botnet.AttackACK, Target: addrTServer, Port: httpapp.DefaultPort, Duration: dur, PPS: pps},
+		{Type: botnet.AttackUDP, Target: addrTServer, Port: 0, Duration: dur, PPS: pps},
+	}
+}
+
+// Labeler returns the exact ground-truth oracle for this testbed:
+//   - any packet to or from the attacker (telnet scanning, loading)
+//   - any packet to or from the C2 (registration, keepalive, commands)
+//   - any packet whose source or destination lies in the spoof range
+//     (forged floods and their backscatter)
+//   - any UDP packet to or from the TServer (no benign service uses UDP,
+//     so UDP at the TServer is flood traffic by construction)
+//
+// is malicious; everything else is benign.
+func (tb *Testbed) Labeler() func(b *features.Basic) int {
+	return func(b *features.Basic) int {
+		switch {
+		case b.Src == addrAttacker || b.Dst == addrAttacker:
+			return dataset.Malicious
+		case b.Src == addrC2 || b.Dst == addrC2:
+			return dataset.Malicious
+		case DefaultSpoofRange.Contains(b.Src) || DefaultSpoofRange.Contains(b.Dst):
+			return dataset.Malicious
+		case b.Proto == packet.ProtoUDP && (b.Src == addrTServer || b.Dst == addrTServer):
+			return dataset.Malicious
+		}
+		return dataset.Benign
+	}
+}
