@@ -152,6 +152,10 @@ type Container struct {
 	started  sim.Time
 	stopped  sim.Time
 	restarts int
+
+	exitCrash bool // last exit was a crash (Kill), not a clean Stop
+	crashes   uint64
+	sup       *Supervisor
 }
 
 // Name returns the container name.
@@ -178,7 +182,22 @@ func (c *Container) StartedAt() sim.Time { return c.started }
 // Restarts reports how many times the container has been restarted.
 func (c *Container) Restarts() int { return c.restarts }
 
-// Start runs the hosted app. Starting a running container is a no-op.
+// Running reports whether the container is currently up (sysmon samples it
+// for availability accounting).
+func (c *Container) Running() bool { return c.state == StateRunning }
+
+// Crashed reports whether the container's most recent exit was abnormal
+// (Kill), as opposed to a clean Stop.
+func (c *Container) Crashed() bool { return c.state == StateStopped && c.exitCrash }
+
+// Crashes reports the total number of abnormal exits.
+func (c *Container) Crashes() uint64 { return c.crashes }
+
+// Supervisor returns the attached supervisor, or nil when unsupervised.
+func (c *Container) Supervisor() *Supervisor { return c.sup }
+
+// Start runs the hosted app. Starting a running container is a no-op. A
+// manual Start re-enables a supervisor that a manual Stop suspended.
 func (c *Container) Start() {
 	if c.state == StateRunning {
 		return
@@ -188,20 +207,49 @@ func (c *Container) Start() {
 	}
 	c.state = StateRunning
 	c.started = c.runtime.net.Now()
+	c.exitCrash = false
 	c.link.SetUp(true)
 	if c.app != nil {
 		c.app.Start(c)
 	}
+	if c.sup != nil && !c.sup.restarting {
+		c.sup.noteManualStart()
+	}
 }
 
 // Stop halts the hosted app and cuts the uplink (the container disappears
-// from the network, as `docker stop` makes it do).
+// from the network, as `docker stop` makes it do). A manual stop also
+// suspends any supervisor — like `docker stop` on a restart=always
+// container, the operator's intent to keep it down wins over the restart
+// policy, and any already-pending supervised restart is cancelled.
 func (c *Container) Stop() {
+	if c.sup != nil {
+		c.sup.noteManualStop()
+	}
 	if c.state != StateRunning {
 		return
 	}
+	c.halt(false)
+}
+
+// Kill terminates the container abnormally — the crash/OOM analog. Unlike
+// Stop, a kill counts as a failure exit, so a supervisor with an on-failure
+// or always policy will schedule a restart.
+func (c *Container) Kill() {
+	if c.state != StateRunning {
+		return
+	}
+	c.halt(true)
+	c.crashes++
+	if c.sup != nil {
+		c.sup.noteExit()
+	}
+}
+
+func (c *Container) halt(crash bool) {
 	c.state = StateStopped
 	c.stopped = c.runtime.net.Now()
+	c.exitCrash = crash
 	if c.app != nil {
 		c.app.Stop()
 	}

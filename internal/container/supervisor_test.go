@@ -1,0 +1,185 @@
+package container
+
+import (
+	"testing"
+	"time"
+
+	"ddoshield/internal/netsim"
+)
+
+func supervisedContainer(t *testing.T, cfg SupervisorConfig) (*Runtime, *Container, *Supervisor) {
+	t.Helper()
+	_, rt, sw := testRuntime(t)
+	c, err := rt.Create(spec("sup", 20), sw, netsim.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := rt.Supervise(c, cfg)
+	return rt, c, sup
+}
+
+func sched(rt *Runtime) func(d time.Duration) {
+	return func(d time.Duration) {
+		if err := rt.Network().Scheduler().RunFor(d); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func TestSupervisorRestartsCrash(t *testing.T) {
+	rt, c, sup := supervisedContainer(t, SupervisorConfig{
+		Policy:  RestartOnFailure,
+		Backoff: time.Second,
+	})
+	run := sched(rt)
+	c.Start()
+	c.Kill()
+	if c.State() != StateStopped || !c.Crashed() {
+		t.Fatalf("after Kill: state=%v crashed=%v", c.State(), c.Crashed())
+	}
+	if !sup.RestartPending() {
+		t.Fatal("no restart scheduled after crash")
+	}
+	run(2 * time.Second)
+	if c.State() != StateRunning {
+		t.Fatal("crashed container not restarted")
+	}
+	if sup.Restarts() != 1 {
+		t.Fatalf("Restarts() = %d, want 1", sup.Restarts())
+	}
+}
+
+func TestSupervisorNeverPolicy(t *testing.T) {
+	rt, c, sup := supervisedContainer(t, SupervisorConfig{Policy: RestartNever})
+	run := sched(rt)
+	c.Start()
+	c.Kill()
+	run(time.Minute)
+	if c.State() != StateStopped || sup.Restarts() != 0 {
+		t.Fatalf("never policy restarted: state=%v restarts=%d", c.State(), sup.Restarts())
+	}
+}
+
+func TestSupervisorManualStopNotRestarted(t *testing.T) {
+	rt, c, sup := supervisedContainer(t, SupervisorConfig{Policy: RestartAlways})
+	run := sched(rt)
+	c.Start()
+	c.Stop() // clean operator stop: must stay down even under "always"
+	run(time.Minute)
+	if c.State() != StateStopped {
+		t.Fatal("manually stopped container was resurrected")
+	}
+	if sup.Restarts() != 0 {
+		t.Fatalf("Restarts() = %d, want 0", sup.Restarts())
+	}
+}
+
+func TestSupervisorManualStopCancelsPendingRestart(t *testing.T) {
+	rt, c, _ := supervisedContainer(t, SupervisorConfig{
+		Policy:  RestartAlways,
+		Backoff: 5 * time.Second,
+	})
+	run := sched(rt)
+	c.Start()
+	c.Kill() // restart pending at +5s
+	run(time.Second)
+	c.Stop() // operator confirms: keep it down
+	run(time.Minute)
+	if c.State() != StateStopped {
+		t.Fatal("pending restart resurrected a manually stopped container")
+	}
+	// A manual start re-arms supervision.
+	c.Start()
+	c.Kill()
+	run(time.Minute)
+	if c.State() != StateRunning {
+		t.Fatal("supervision not re-armed after manual restart")
+	}
+}
+
+func TestSupervisorExponentialBackoffAndCap(t *testing.T) {
+	rt, c, sup := supervisedContainer(t, SupervisorConfig{
+		Policy:        RestartOnFailure,
+		Backoff:       time.Second,
+		BackoffFactor: 2,
+		MaxBackoff:    4 * time.Second,
+		ResetAfter:    time.Hour, // never reset during this test
+		MaxRestarts:   3,
+	})
+	run := sched(rt)
+	s := rt.Network().Scheduler()
+	c.Start()
+
+	// Crash-loop: each restart is immediately followed by another crash.
+	// Ladder: 1s, 2s, 4s (cap) — then the 4th crash exhausts MaxRestarts.
+	var upAt []time.Duration
+	for i := 0; i < 4; i++ {
+		c.Kill()
+		before := sup.Restarts()
+		run(10 * time.Second)
+		if sup.Restarts() > before {
+			upAt = append(upAt, time.Duration(s.Now()))
+		}
+	}
+	if len(upAt) != 3 {
+		t.Fatalf("supervised restarts = %d, want 3", len(upAt))
+	}
+	if !sup.GaveUp() {
+		t.Fatal("supervisor did not give up after MaxRestarts")
+	}
+	if c.State() != StateStopped {
+		t.Fatal("container running after supervisor gave up")
+	}
+}
+
+func TestSupervisorHealthProbeTriggersRestart(t *testing.T) {
+	healthy := true
+	rt, c, sup := supervisedContainer(t, SupervisorConfig{
+		Policy:         RestartOnFailure,
+		Backoff:        time.Second,
+		Probe:          func(*Container) bool { return healthy },
+		ProbeInterval:  time.Second,
+		UnhealthyAfter: 3,
+	})
+	run := sched(rt)
+	c.Start()
+	run(10 * time.Second)
+	if sup.UnhealthyEvents() != 0 {
+		t.Fatal("healthy container marked unhealthy")
+	}
+	healthy = false
+	run(3 * time.Second) // three consecutive failures
+	if sup.UnhealthyEvents() != 1 {
+		t.Fatalf("UnhealthyEvents = %d, want 1", sup.UnhealthyEvents())
+	}
+	if c.Crashes() == 0 {
+		t.Fatal("unhealthy container was not killed")
+	}
+	healthy = true
+	run(5 * time.Second)
+	if c.State() != StateRunning || sup.Unhealthy() {
+		t.Fatalf("unhealthy restart failed: state=%v unhealthy=%v", c.State(), sup.Unhealthy())
+	}
+}
+
+func TestSupervisorDelayOverride(t *testing.T) {
+	var draws int
+	rt, c, _ := supervisedContainer(t, SupervisorConfig{
+		Policy: RestartAlways,
+		Delay: func(restarts int) time.Duration {
+			draws++
+			return 7 * time.Second
+		},
+	})
+	run := sched(rt)
+	c.Start()
+	c.Kill()
+	run(6 * time.Second)
+	if c.State() != StateStopped {
+		t.Fatal("restarted before the Delay hook's downtime elapsed")
+	}
+	run(2 * time.Second)
+	if c.State() != StateRunning || draws != 1 {
+		t.Fatalf("Delay override not honoured: state=%v draws=%d", c.State(), draws)
+	}
+}

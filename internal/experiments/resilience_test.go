@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ddoshield/internal/ml/metrics"
+)
+
+// constModel is a trivial classifier so resilience tests don't pay for
+// training; detection quality is not under test here, the sweep harness is.
+type constModel struct {
+	name  string
+	class int
+}
+
+func (m constModel) Predict(x []float64) int { return m.class }
+func (m constModel) Name() string            { return m.name }
+
+func TestResilienceSweepDeterministicAndFaulted(t *testing.T) {
+	sc := tiny()
+	sc.Devices = 5
+	sc.InfectionLead = 30 * time.Second
+	sc.DetectDuration = 40 * time.Second
+	models := []TrainedModel{
+		{Model: constModel{name: "allpos", class: 1}},
+		{Model: constModel{name: "allneg", class: 0}},
+	}
+	cfg := ResilienceConfig{Intensities: []float64{0, 1}}
+	run := func() *ResilienceResult {
+		res, err := sc.RunResilience(models, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(), run()
+
+	// Same seed, same plan: the rendered sweep must be byte-identical.
+	f1, f2 := FormatResilience(r1), FormatResilience(r2)
+	if f1 != f2 {
+		t.Fatalf("same-seed sweeps diverged:\n--- run 1 ---\n%s--- run 2 ---\n%s", f1, f2)
+	}
+
+	if len(r1.Points) != 2 {
+		t.Fatalf("points = %d", len(r1.Points))
+	}
+	base, full := r1.Points[0], r1.Points[1]
+	if len(base.Faults) != 0 {
+		t.Fatalf("zero-intensity baseline injected faults: %v", base.Faults)
+	}
+	// Full intensity must activate at least three fault kinds, all with
+	// non-zero counters.
+	if len(full.Faults) < 3 {
+		t.Fatalf("only %d fault kinds active at full intensity: %v", len(full.Faults), full.Faults)
+	}
+	for _, c := range full.Faults {
+		if c.Count == 0 {
+			t.Fatalf("fault kind %s has a zero counter", c.Kind)
+		}
+	}
+	if full.Restarts == 0 {
+		t.Fatal("crash loops produced no supervised restarts")
+	}
+	if full.DeviceAvailabilityPct >= base.DeviceAvailabilityPct {
+		t.Fatalf("availability did not degrade: base %.2f vs full %.2f",
+			base.DeviceAvailabilityPct, full.DeviceAvailabilityPct)
+	}
+
+	// The always-positive model keeps recall 1 regardless of faults; its
+	// degradation curve has one entry per intensity.
+	curve := r1.Curve("allpos", func(r metrics.Report) float64 { return r.Recall })
+	if len(curve) != 2 {
+		t.Fatalf("curve = %v", curve)
+	}
+	for _, v := range curve {
+		if v != 1 {
+			t.Fatalf("allpos recall = %v, want 1", curve)
+		}
+	}
+	// The always-negative model has undefined precision, rendered as n/a.
+	if !strings.Contains(f1, "n/a") {
+		t.Fatalf("undefined metrics not rendered as n/a:\n%s", f1)
+	}
+	if !strings.Contains(f1, "recall vs intensity") {
+		t.Fatalf("missing degradation curves:\n%s", f1)
+	}
+}

@@ -1,0 +1,264 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ddoshield/internal/container"
+	"ddoshield/internal/netsim"
+	"ddoshield/internal/sim"
+)
+
+// Target is one fault-injectable endpoint: a container and/or its uplink.
+type Target struct {
+	Name      string
+	Container *container.Container
+	Link      *netsim.Link
+}
+
+// Injector applies fault plans to registered targets on the simulation
+// scheduler. All state changes happen inside scheduled events, so two
+// injectors built from the same seed over the same topology replay the
+// same fault sequence.
+type Injector struct {
+	sched    *sim.Scheduler
+	seed     int64
+	sw       *netsim.Switch
+	targets  []Target
+	byName   map[string]int
+	counters map[Kind]uint64
+}
+
+// NewInjector builds an injector. sw may be nil when partitions are unused.
+func NewInjector(sched *sim.Scheduler, seed int64, sw *netsim.Switch) *Injector {
+	return &Injector{
+		sched:    sched,
+		seed:     seed,
+		sw:       sw,
+		byName:   make(map[string]int),
+		counters: make(map[Kind]uint64),
+	}
+}
+
+// Register adds a named target. Registration order fixes the resolution
+// order of globbed target lists, so register in a deterministic order.
+func (in *Injector) Register(tg Target) {
+	if _, dup := in.byName[tg.Name]; dup {
+		return
+	}
+	in.byName[tg.Name] = len(in.targets)
+	in.targets = append(in.targets, tg)
+}
+
+// RegisterContainer is Register sugar for a container and its uplink.
+func (in *Injector) RegisterContainer(c *container.Container) {
+	in.Register(Target{Name: c.Name(), Container: c, Link: c.Link()})
+}
+
+// Targets lists registered targets in registration order.
+func (in *Injector) Targets() []Target {
+	out := make([]Target, len(in.targets))
+	copy(out, in.targets)
+	return out
+}
+
+// resolve expands a name list (exact, trailing-* glob, or empty for all)
+// into targets, in registration order, without duplicates.
+func (in *Injector) resolve(names []string) []Target {
+	if len(names) == 0 {
+		return in.Targets()
+	}
+	picked := make([]bool, len(in.targets))
+	for _, name := range names {
+		if prefix, ok := strings.CutSuffix(name, "*"); ok {
+			for i := range in.targets {
+				if strings.HasPrefix(in.targets[i].Name, prefix) {
+					picked[i] = true
+				}
+			}
+			continue
+		}
+		if i, ok := in.byName[name]; ok {
+			picked[i] = true
+		}
+	}
+	var out []Target
+	for i, p := range picked {
+		if p {
+			out = append(out, in.targets[i])
+		}
+	}
+	return out
+}
+
+// Schedule arms every event of the plan relative to the current simulated
+// instant. It may be called before the testbed starts (events in the past
+// clamp to now) and more than once (plans compose).
+func (in *Injector) Schedule(p Plan) {
+	now := in.sched.Now()
+	for _, e := range p.Events {
+		e := e
+		in.sched.At(now.Add(e.At), func() { in.apply(e) })
+	}
+}
+
+// apply executes one event at its injection instant.
+func (in *Injector) apply(e Event) {
+	switch e.Kind {
+	case LinkFlap:
+		in.applyLinkFlap(e)
+	case LinkImpair:
+		in.applyLinkImpair(e)
+	case Partition:
+		in.applyPartition(e)
+	case Crash:
+		for _, tg := range in.resolve(e.Targets) {
+			in.kill(tg)
+		}
+	case CrashLoop:
+		in.applyCrashLoop(e)
+	}
+}
+
+func (in *Injector) count(k Kind) { in.counters[k]++ }
+
+func (in *Injector) applyLinkFlap(e Event) {
+	d := e.Duration
+	if d <= 0 {
+		d = 5 * time.Second
+	}
+	for _, tg := range in.resolve(e.Targets) {
+		if tg.Link == nil || !tg.Link.Up() {
+			continue
+		}
+		tg.Link.SetUp(false)
+		in.count(LinkFlap)
+		link, c := tg.Link, tg.Container
+		in.sched.After(d, func() {
+			// Do not re-cable a container that stopped in the meantime;
+			// its next Start raises the link itself.
+			if c != nil && c.State() != container.StateRunning {
+				return
+			}
+			link.SetUp(true)
+		})
+	}
+}
+
+func (in *Injector) applyLinkImpair(e Event) {
+	for _, tg := range in.resolve(e.Targets) {
+		if tg.Link == nil {
+			continue
+		}
+		imp := e.Impair
+		if imp.RNG == nil {
+			imp.RNG = sim.Substream(in.seed, "faults/impair/"+tg.Name)
+		}
+		prev := tg.Link.Impairments()
+		tg.Link.SetImpairments(imp)
+		in.count(LinkImpair)
+		if e.Duration > 0 {
+			link := tg.Link
+			in.sched.After(e.Duration, func() { link.SetImpairments(prev) })
+		}
+	}
+}
+
+func (in *Injector) applyPartition(e Event) {
+	if in.sw == nil {
+		return
+	}
+	assigned := false
+	for gi, names := range e.Groups {
+		for _, tg := range in.resolve(names) {
+			if tg.Link == nil {
+				continue
+			}
+			for _, p := range tg.Link.Ends() {
+				if in.sw.SetGroup(p, gi+1) {
+					assigned = true
+				}
+			}
+		}
+	}
+	if !assigned {
+		return
+	}
+	in.count(Partition)
+	d := e.Duration
+	if d <= 0 {
+		d = 10 * time.Second
+	}
+	in.sched.After(d, func() { in.sw.ClearGroups() })
+}
+
+func (in *Injector) applyCrashLoop(e Event) {
+	every := e.Every
+	if every <= 0 {
+		every = time.Second
+	}
+	d := e.Duration
+	if d <= 0 {
+		d = 5 * time.Second
+	}
+	targets := in.resolve(e.Targets)
+	deadline := in.sched.Now().Add(d)
+	var tick func()
+	tick = func() {
+		for _, tg := range targets {
+			in.kill(tg)
+		}
+		if in.sched.Now() < deadline {
+			in.sched.After(every, tick)
+		}
+	}
+	tick()
+}
+
+func (in *Injector) kill(tg Target) {
+	if tg.Container == nil || tg.Container.State() != container.StateRunning {
+		return
+	}
+	tg.Container.Kill()
+	in.count(Crash)
+}
+
+// Counter is one per-kind injection count.
+type Counter struct {
+	Kind  Kind
+	Count uint64
+}
+
+// Counters reports how many times each fault kind was injected, sorted by
+// kind for deterministic iteration. Crash and CrashLoop kills share the
+// Crash counter (each kill is one injection); flaps, impairment windows
+// and partitions count one per affected link/switch.
+func (in *Injector) Counters() []Counter {
+	out := make([]Counter, 0, len(in.counters))
+	for k, v := range in.counters {
+		out = append(out, Counter{Kind: k, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// CounterMap returns the counts keyed by kind string (a fresh copy).
+func (in *Injector) CounterMap() map[string]uint64 {
+	out := make(map[string]uint64, len(in.counters))
+	for k, v := range in.counters {
+		out[string(k)] = v
+	}
+	return out
+}
+
+// String renders the counters as "kind=n kind=n", sorted, for summaries.
+func (in *Injector) String() string {
+	cs := in.Counters()
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = fmt.Sprintf("%s=%d", c.Kind, c.Count)
+	}
+	return strings.Join(parts, " ")
+}

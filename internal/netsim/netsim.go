@@ -208,11 +208,69 @@ func (cfg LinkConfig) withDefaults() LinkConfig {
 	return cfg
 }
 
+// Impairments are runtime-adjustable link degradations beyond up/down —
+// the knobs the fault injector turns. All probabilities are independent
+// per-frame draws from RNG; zero values disable the corresponding effect.
+type Impairments struct {
+	// LossProb silently discards each frame with this probability.
+	LossProb float64
+	// CorruptProb flips one random bit of the delivered copy of a frame
+	// with this probability. The corrupted frame still arrives; receivers
+	// see it fail checksum or dissection, exactly like real bit rot.
+	CorruptProb float64
+	// DupProb delivers a second copy of the frame, one serialization time
+	// after the original, with this probability.
+	DupProb float64
+	// ReorderProb holds a frame for ReorderDelay extra propagation with
+	// this probability, letting frames sent after it overtake it.
+	ReorderProb float64
+	// ReorderDelay is the extra hold applied to reordered frames
+	// (default: 4x the link's propagation delay).
+	ReorderDelay sim.Time
+	// RNG drives the random draws; required when any probability > 0.
+	RNG *sim.RNG
+}
+
+// Active reports whether any impairment probability is set.
+func (im Impairments) Active() bool {
+	return im.LossProb > 0 || im.CorruptProb > 0 || im.DupProb > 0 || im.ReorderProb > 0
+}
+
+// LinkStats is the full per-link counter set, aggregated over both
+// directions. QueueDrops counts drop-tail and sent-while-down discards;
+// InFlightDrops counts frames that were in flight when the link went down.
+type LinkStats struct {
+	TxFrames      uint64
+	TxBytes       uint64
+	QueueDrops    uint64
+	LossFrames    uint64
+	CorruptFrames uint64
+	DupFrames     uint64
+	ReorderFrames uint64
+	InFlightDrops uint64
+}
+
+// Drops totals every discarded frame (queue, random loss, in-flight cut).
+func (s LinkStats) Drops() uint64 { return s.QueueDrops + s.LossFrames + s.InFlightDrops }
+
+// Add accumulates o into s, for fleet-wide aggregation.
+func (s *LinkStats) Add(o LinkStats) {
+	s.TxFrames += o.TxFrames
+	s.TxBytes += o.TxBytes
+	s.QueueDrops += o.QueueDrops
+	s.LossFrames += o.LossFrames
+	s.CorruptFrames += o.CorruptFrames
+	s.DupFrames += o.DupFrames
+	s.ReorderFrames += o.ReorderFrames
+	s.InFlightDrops += o.InFlightDrops
+}
+
 // Link is a full-duplex point-to-point link between two ports. Each
 // direction has an independent transmitter with a drop-tail byte queue.
 type Link struct {
 	net  *Network
 	cfg  LinkConfig
+	imp  Impairments
 	ends [2]Port
 	dirs [2]*direction // dirs[i] carries frames from ends[i] to ends[1-i]
 	taps []Tap
@@ -220,15 +278,19 @@ type Link struct {
 }
 
 type direction struct {
-	link       *Link
-	from       int
-	queue      [][]byte
-	queued     int // bytes waiting (excluding the frame in transmission)
-	busy       bool
-	txFrames   uint64
-	txBytes    uint64
-	dropFrames uint64
-	lossFrames uint64
+	link          *Link
+	from          int
+	queue         [][]byte
+	queued        int // bytes waiting (excluding the frame in transmission)
+	busy          bool
+	txFrames      uint64
+	txBytes       uint64
+	dropFrames    uint64
+	lossFrames    uint64
+	corruptFrames uint64
+	dupFrames     uint64
+	reorderFrames uint64
+	inflightDrops uint64
 }
 
 // Connect wires two ports with a duplex link.
@@ -258,20 +320,45 @@ func bindPort(p Port, l *Link, side int) {
 func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
 
 // SetUp raises or cuts the link. Frames sent while the link is down are
-// dropped; frames already in flight still arrive. Used by the churn model.
+// dropped at the queue; frames already in flight when it goes down are
+// dropped at their arrival instant (a cut cable loses what's on the wire)
+// and counted in LinkStats.InFlightDrops. Used by churn and fault models.
 func (l *Link) SetUp(up bool) { l.up = up }
 
 // Up reports whether the link is currently passing traffic.
 func (l *Link) Up() bool { return l.up }
 
-// Stats aggregates both directions' counters.
+// SetImpairments installs (or, with the zero value, clears) runtime
+// impairments. Takes effect for frames transmitted after the call.
+func (l *Link) SetImpairments(im Impairments) { l.imp = im }
+
+// Impairments returns the currently active impairment set.
+func (l *Link) Impairments() Impairments { return l.imp }
+
+// Ends returns the two ports the link connects, in Connect order.
+func (l *Link) Ends() [2]Port { return l.ends }
+
+// Stats aggregates both directions' counters (legacy three-value form;
+// drops totals queue, loss and in-flight discards).
 func (l *Link) Stats() (txFrames, txBytes, drops uint64) {
+	s := l.Counters()
+	return s.TxFrames, s.TxBytes, s.Drops()
+}
+
+// Counters aggregates both directions' full counter set.
+func (l *Link) Counters() LinkStats {
+	var s LinkStats
 	for _, d := range l.dirs {
-		txFrames += d.txFrames
-		txBytes += d.txBytes
-		drops += d.dropFrames + d.lossFrames
+		s.TxFrames += d.txFrames
+		s.TxBytes += d.txBytes
+		s.QueueDrops += d.dropFrames
+		s.LossFrames += d.lossFrames
+		s.CorruptFrames += d.corruptFrames
+		s.DupFrames += d.dupFrames
+		s.ReorderFrames += d.reorderFrames
+		s.InFlightDrops += d.inflightDrops
 	}
-	return
+	return s
 }
 
 // serializationTime is how long a frame of n bytes occupies the transmitter.
@@ -320,9 +407,42 @@ func (d *direction) transmit(raw []byte) {
 		return
 	}
 	arrive := sched.Now() + ser + l.cfg.Delay
+	dup := false
+	if im := l.imp; im.RNG != nil && im.Active() {
+		if im.LossProb > 0 && im.RNG.Bool(im.LossProb) {
+			d.lossFrames++
+			return
+		}
+		if im.CorruptProb > 0 && im.RNG.Bool(im.CorruptProb) {
+			raw = corruptedCopy(raw, im.RNG)
+			d.corruptFrames++
+		}
+		if im.DupProb > 0 && im.RNG.Bool(im.DupProb) {
+			dup = true
+			d.dupFrames++
+		}
+		if im.ReorderProb > 0 && im.RNG.Bool(im.ReorderProb) {
+			extra := im.ReorderDelay
+			if extra <= 0 {
+				extra = 4 * l.cfg.Delay
+			}
+			arrive += extra
+			d.reorderFrames++
+		}
+	}
+	d.scheduleArrival(arrive, raw)
+	if dup {
+		d.scheduleArrival(arrive+ser, raw)
+	}
+}
+
+func (d *direction) scheduleArrival(at sim.Time, raw []byte) {
+	l := d.link
+	sched := l.net.sched
 	to := l.ends[1-d.from]
-	sched.At(arrive, func() {
+	sched.At(at, func() {
 		if !l.up {
+			d.inflightDrops++
 			return
 		}
 		for _, tap := range l.taps {
@@ -330,4 +450,17 @@ func (d *direction) transmit(raw []byte) {
 		}
 		to.receive(raw)
 	})
+}
+
+// corruptedCopy returns raw with one pseudo-randomly chosen bit flipped,
+// leaving the original (which other arrival events may share) untouched.
+func corruptedCopy(raw []byte, rng *sim.RNG) []byte {
+	if len(raw) == 0 {
+		return raw
+	}
+	b := make([]byte, len(raw))
+	copy(b, raw)
+	bit := rng.Intn(len(b) * 8)
+	b[bit/8] ^= 1 << uint(bit%8)
+	return b
 }

@@ -17,8 +17,9 @@ type Switch struct {
 	table map[packet.MAC]*switchPort
 	taps  []Tap
 
-	forwarded uint64
-	flooded   uint64
+	forwarded      uint64
+	flooded        uint64
+	partitionDrops uint64
 }
 
 // NewSwitch adds a named learning switch to the network.
@@ -47,11 +48,43 @@ func (s *Switch) Stats() (forwarded, flooded uint64) { return s.forwarded, s.flo
 // Forget clears the MAC learning table (e.g. after heavy churn).
 func (s *Switch) Forget() { s.table = make(map[packet.MAC]*switchPort) }
 
+// SetGroup assigns a port to a partition group. Ports only exchange frames
+// within their group; frames crossing a group boundary are silently
+// discarded (and counted), modeling a switch-level network partition. All
+// ports start in group 0. Returns false when p is not a port of this switch.
+func (s *Switch) SetGroup(p Port, group int) bool {
+	sp, ok := p.(*switchPort)
+	if !ok || sp.sw != s {
+		return false
+	}
+	sp.group = group
+	return true
+}
+
+// GroupOf reports a port's partition group (0 for foreign ports).
+func (s *Switch) GroupOf(p Port) int {
+	if sp, ok := p.(*switchPort); ok && sp.sw == s {
+		return sp.group
+	}
+	return 0
+}
+
+// ClearGroups heals all partitions, returning every port to group 0.
+func (s *Switch) ClearGroups() {
+	for _, p := range s.ports {
+		p.group = 0
+	}
+}
+
+// PartitionDrops reports frames discarded at a partition boundary.
+func (s *Switch) PartitionDrops() uint64 { return s.partitionDrops }
+
 type switchPort struct {
 	sw    *Switch
 	index int
 	link  *Link
 	side  int
+	group int
 }
 
 var _ Port = (*switchPort)(nil)
@@ -79,16 +112,20 @@ func (p *switchPort) receive(raw []byte) {
 	if !eth.Dst.IsBroadcast() {
 		if out, ok := s.table[eth.Dst]; ok {
 			if out != p {
+				if out.group != p.group {
+					s.partitionDrops++
+					return
+				}
 				s.forwarded++
 				out.send(raw)
 			}
 			return
 		}
 	}
-	// Broadcast or unknown unicast: flood all other ports.
+	// Broadcast or unknown unicast: flood all other ports in the group.
 	s.flooded++
 	for _, out := range s.ports {
-		if out != p {
+		if out != p && out.group == p.group {
 			out.send(raw)
 		}
 	}

@@ -70,8 +70,10 @@ func ParseAddr(s string) (Addr, error) {
 	return a, nil
 }
 
-// MustParseAddr is ParseAddr for compile-time-constant literals; it panics
-// on malformed input and is intended for tests and topology tables.
+// MustParseAddr is ParseAddr for constant literals in tests; it panics on
+// malformed input. Production code must use ParseAddr (for external input)
+// or AddrFrom4 (for known octets) — no non-test code path may reach this
+// panic.
 func MustParseAddr(s string) Addr {
 	a, err := ParseAddr(s)
 	if err != nil {
@@ -114,7 +116,9 @@ func ParsePrefix(s string) (Prefix, error) {
 	return Prefix{Addr: a, Bits: bits}, nil
 }
 
-// MustParsePrefix is ParsePrefix that panics on malformed input.
+// MustParsePrefix is ParsePrefix for constant literals in tests; it panics
+// on malformed input. Production code must use ParsePrefix or build the
+// Prefix struct directly — no non-test code path may reach this panic.
 func MustParsePrefix(s string) Prefix {
 	p, err := ParsePrefix(s)
 	if err != nil {

@@ -92,6 +92,65 @@ func Bar(label string, value, max float64, width int) string {
 		strings.Repeat("█", n), strings.Repeat("·", width-n), value)
 }
 
+// Table renders an aligned ASCII table: a header row, a rule, then the data
+// rows. Column widths fit the widest cell; numeric formatting is the
+// caller's job. Used for the fault-counter and resilience-degradation
+// tables next to the paper's Table I/II renderings.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", w-len([]rune(cell))))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("-+-")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Counters renders "name=value" pairs on one line, in the given order —
+// the compact form summaries use for per-fault counters.
+func Counters(names []string, values []uint64) string {
+	parts := make([]string, len(names))
+	for i, n := range names {
+		var v uint64
+		if i < len(values) {
+			v = values[i]
+		}
+		parts[i] = fmt.Sprintf("%s=%d", n, v)
+	}
+	return strings.Join(parts, " ")
+}
+
 // BarChart renders one bar per (label, value) pair, scaled to the largest
 // value.
 func BarChart(labels []string, values []float64, width int) string {

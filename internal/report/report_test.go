@@ -124,3 +124,30 @@ func TestBarChart(t *testing.T) {
 		t.Fatalf("max bar not full: %q", lines[1])
 	}
 }
+
+func TestTableAlignment(t *testing.T) {
+	got := Table([]string{"a", "long"}, [][]string{{"xx", "y"}, {"z", "wwwww"}})
+	want := "a  | long \n" +
+		"---+------\n" +
+		"xx | y    \n" +
+		"z  | wwwww\n"
+	if got != want {
+		t.Fatalf("table:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	got := Table([]string{"k", "v"}, [][]string{{"only-key"}})
+	if !strings.Contains(got, "only-key | ") {
+		t.Fatalf("ragged row mis-rendered: %q", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	if got := Counters([]string{"crash", "flap"}, []uint64{2, 1}); got != "crash=2 flap=1" {
+		t.Fatalf("Counters = %q", got)
+	}
+	if got := Counters(nil, nil); got != "" {
+		t.Fatalf("empty Counters = %q", got)
+	}
+}

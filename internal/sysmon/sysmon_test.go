@@ -112,6 +112,42 @@ func TestMonitorIdempotentStartStop(t *testing.T) {
 	}
 }
 
+// flakyTarget adds an up/down state to fakeTarget.
+type flakyTarget struct {
+	fakeTarget
+	up bool
+}
+
+func (f *flakyTarget) Running() bool { return f.up }
+
+func TestReportAvailability(t *testing.T) {
+	s := sim.NewScheduler()
+	target := &flakyTarget{up: true}
+	m := NewMonitor(target, time.Second)
+	m.Start(s)
+	if err := s.Run(6 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	target.up = false
+	if err := s.Run(8 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	m.Stop()
+	// 6 of 8 samples up.
+	if r := m.Report(1); r.AvailabilityPct != 75 {
+		t.Fatalf("AvailabilityPct = %v, want 75", r.AvailabilityPct)
+	}
+	// A target without an up/down state is always available.
+	m2 := NewMonitor(&fakeTarget{}, time.Second)
+	m2.Start(s)
+	if err := s.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r := m2.Report(1); r.AvailabilityPct != 100 {
+		t.Fatalf("stateless AvailabilityPct = %v, want 100", r.AvailabilityPct)
+	}
+}
+
 func TestEnergyJoules(t *testing.T) {
 	s := sim.NewScheduler()
 	target := &fakeTarget{}

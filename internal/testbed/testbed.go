@@ -8,6 +8,7 @@ package testbed
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"ddoshield/internal/apps/ftpapp"
@@ -17,6 +18,7 @@ import (
 	"ddoshield/internal/container"
 	"ddoshield/internal/dataset"
 	"ddoshield/internal/devices"
+	"ddoshield/internal/faults"
 	"ddoshield/internal/features"
 	"ddoshield/internal/netsim"
 	"ddoshield/internal/netstack"
@@ -24,19 +26,21 @@ import (
 	"ddoshield/internal/sim"
 )
 
-// Well-known testbed addresses inside the default 10.0.0.0/16 subnet.
+// Well-known testbed addresses inside the default 10.0.0.0/16 subnet,
+// built from octet literals rather than parsed strings so no runtime path
+// can hit a parse panic.
 var (
-	// DefaultSubnet is the simulated LAN.
-	DefaultSubnet = packet.MustParsePrefix("10.0.0.0/16")
-	// DefaultSpoofRange supplies forged flood sources; it is inside the
-	// subnet but never assigned to a real host, so it doubles as an exact
-	// ground-truth marker.
-	DefaultSpoofRange = packet.MustParsePrefix("10.0.200.0/22")
+	// DefaultSubnet is the simulated LAN (10.0.0.0/16).
+	DefaultSubnet = packet.Prefix{Addr: packet.AddrFrom4(10, 0, 0, 0), Bits: 16}
+	// DefaultSpoofRange supplies forged flood sources (10.0.200.0/22); it
+	// is inside the subnet but never assigned to a real host, so it
+	// doubles as an exact ground-truth marker.
+	DefaultSpoofRange = packet.Prefix{Addr: packet.AddrFrom4(10, 0, 200, 0), Bits: 22}
 
-	addrTServer  = packet.MustParseAddr("10.0.1.1")
-	addrIDS      = packet.MustParseAddr("10.0.1.2")
-	addrC2       = packet.MustParseAddr("10.0.0.2")
-	addrAttacker = packet.MustParseAddr("10.0.0.3")
+	addrTServer  = packet.AddrFrom4(10, 0, 1, 1)
+	addrIDS      = packet.AddrFrom4(10, 0, 1, 2)
+	addrC2       = packet.AddrFrom4(10, 0, 0, 2)
+	addrAttacker = packet.AddrFrom4(10, 0, 0, 3)
 )
 
 // deviceAddr returns the i-th device address (10.0.2.x plane).
@@ -45,7 +49,10 @@ func deviceAddr(i int) packet.Addr {
 }
 
 // ChurnConfig models device reboots: exponential up-times and down-times.
-// A rebooted device loses its infection (Mirai is memory-resident).
+// A rebooted device loses its infection (Mirai is memory-resident). Churn
+// reboots are crash exits routed through each device's supervisor, so a
+// container stopped by an operator or a fault plan mid-churn stays down
+// instead of being resurrected by a stale restart callback.
 type ChurnConfig struct {
 	// Enabled turns churn on.
 	Enabled bool
@@ -78,6 +85,14 @@ type Config struct {
 	// device alone before re-probing (default 45 s, so churned devices
 	// rejoin the botnet quickly at testbed timescales).
 	ReinfectCooldown time.Duration
+	// Faults is the fault-injection timeline, scheduled (relative to
+	// Start) on every registered container. See the faults package.
+	Faults faults.Plan
+	// Supervision tunes the per-device supervisors (restart policy,
+	// backoff, health probes). The zero value restarts crashed devices
+	// with default backoff; churn, when enabled, overrides the restart
+	// delay with its exponential outage draw.
+	Supervision container.SupervisorConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +149,10 @@ type Testbed struct {
 	c2       *botnet.C2
 	attacker *botnet.Attacker
 
+	injector *faults.Injector
+	devSups  []*container.Supervisor
+	churnGen map[*container.Container]int
+
 	churnRNG *sim.RNG
 	started  bool
 }
@@ -145,6 +164,7 @@ func New(cfg Config) (*Testbed, error) {
 		cfg:      cfg,
 		sched:    sim.NewScheduler(),
 		churnRNG: sim.Substream(cfg.Seed, "testbed/churn"),
+		churnGen: make(map[*container.Container]int),
 	}
 	tb.network = netsim.New(tb.sched)
 	tb.runtime = container.NewRuntime(tb.network)
@@ -213,7 +233,7 @@ func New(cfg Config) (*Testbed, error) {
 
 	// Attacker container: scanner + loader over the device address plane.
 	tb.attacker = botnet.NewAttacker(botnet.AttackerConfig{
-		TargetRange:       packet.MustParsePrefix("10.0.2.0/24"),
+		TargetRange:       packet.Prefix{Addr: packet.AddrFrom4(10, 0, 2, 0), Bits: 24},
 		C2Addr:            addrC2,
 		C2Port:            tb.c2.Port(),
 		MeanProbeInterval: cfg.ScanInterval,
@@ -253,11 +273,28 @@ func New(cfg Config) (*Testbed, error) {
 		}
 		tb.devs = append(tb.devs, DeviceHandle{Container: devC, Device: dev})
 	}
+
+	// Fault injection: register every container in creation order so glob
+	// resolution (and thus injection order) is deterministic.
+	tb.injector = faults.NewInjector(tb.sched, cfg.Seed, tb.sw)
+	for _, c := range tb.allContainers() {
+		tb.injector.RegisterContainer(c)
+	}
 	return tb, nil
 }
 
+// allContainers lists every container in creation order.
+func (tb *Testbed) allContainers() []*container.Container {
+	out := []*container.Container{tb.tserver, tb.idsC, tb.c2C, tb.attackerC}
+	for i := range tb.devs {
+		out = append(out, tb.devs[i].Container)
+	}
+	return out
+}
+
 // Start brings every container up (TServer first, then C2, attacker and
-// devices) and, when churn is enabled, schedules device reboots.
+// devices), attaches a supervisor to each device, schedules churn reboots
+// when enabled, and arms the configured fault plan.
 func (tb *Testbed) Start() {
 	if tb.started {
 		return
@@ -268,26 +305,62 @@ func (tb *Testbed) Start() {
 	tb.c2C.Start()
 	tb.attackerC.Start()
 	for i := range tb.devs {
-		tb.devs[i].Container.Start()
+		c := tb.devs[i].Container
+		c.Start()
+		tb.devSups = append(tb.devSups, tb.runtime.Supervise(c, tb.deviceSupervision()))
 		if tb.cfg.Churn.Enabled {
-			tb.scheduleChurn(tb.devs[i].Container)
+			tb.scheduleChurn(c)
 		}
+	}
+	if !tb.cfg.Faults.Empty() {
+		tb.injector.Schedule(tb.cfg.Faults)
 	}
 }
 
-// scheduleChurn arms the next reboot for one device container.
+// deviceSupervision builds the supervisor config for one device container:
+// Config.Supervision with testbed policy on top. Crashed devices restart by
+// default; with churn enabled the restart delay is the churn model's
+// exponential outage draw and every supervised restart re-arms the next
+// churn cycle.
+func (tb *Testbed) deviceSupervision() container.SupervisorConfig {
+	cfg := tb.cfg.Supervision
+	if cfg.Policy == container.RestartNever {
+		cfg.Policy = container.RestartOnFailure
+	}
+	if tb.cfg.Churn.Enabled {
+		cfg.Policy = container.RestartAlways
+		if cfg.Delay == nil {
+			cfg.Delay = func(int) time.Duration {
+				return time.Duration(tb.churnRNG.Exp(float64(tb.cfg.Churn.MeanDown)))
+			}
+		}
+		prev := cfg.OnRestart
+		cfg.OnRestart = func(c *container.Container) {
+			tb.scheduleChurn(c)
+			if prev != nil {
+				prev(c)
+			}
+		}
+	}
+	return cfg
+}
+
+// scheduleChurn arms the next reboot for one device container. A reboot is
+// a crash exit (Kill); the device's supervisor brings it back after the
+// churn outage draw and re-arms the next cycle via OnRestart. A generation
+// counter retires the pending timer when the supervisor restarts the device
+// for another reason first, and the running-state guard keeps a stale timer
+// from touching a container a fault plan or operator took down — nothing
+// silently resurrects a deliberately stopped device anymore.
 func (tb *Testbed) scheduleChurn(c *container.Container) {
+	tb.churnGen[c]++
+	gen := tb.churnGen[c]
 	up := time.Duration(tb.churnRNG.Exp(float64(tb.cfg.Churn.MeanUp)))
 	tb.sched.After(up, func() {
-		if c.State() != container.StateRunning {
+		if tb.churnGen[c] != gen || c.State() != container.StateRunning {
 			return
 		}
-		c.Stop()
-		down := time.Duration(tb.churnRNG.Exp(float64(tb.cfg.Churn.MeanDown)))
-		tb.sched.After(down, func() {
-			c.Start()
-			tb.scheduleChurn(c)
-		})
+		c.Kill()
 	})
 }
 
@@ -336,6 +409,59 @@ func (tb *Testbed) InfectedCount() int {
 		}
 	}
 	return n
+}
+
+// Injector exposes the fault injector, e.g. to register extra targets or
+// schedule additional plans mid-run.
+func (tb *Testbed) Injector() *faults.Injector { return tb.injector }
+
+// FaultCounters reports per-kind fault injection counts, sorted by kind.
+func (tb *Testbed) FaultCounters() []faults.Counter { return tb.injector.Counters() }
+
+// DeviceSupervisors lists the per-device supervisors (empty before Start).
+func (tb *Testbed) DeviceSupervisors() []*container.Supervisor {
+	out := make([]*container.Supervisor, len(tb.devSups))
+	copy(out, tb.devSups)
+	return out
+}
+
+// Summary renders a deterministic end-of-run report: simulated clock,
+// switch and link counters, campaign state, supervision activity and fault
+// counters. It contains no wall-clock or host-dependent values, so two
+// same-seed runs with the same fault plan produce byte-identical output —
+// the property the determinism regression test pins down.
+func (tb *Testbed) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "clock        %s\n", tb.sched.Now().Duration())
+	fwd, fld := tb.sw.Stats()
+	fmt.Fprintf(&b, "switch       forwarded=%d flooded=%d partition-drops=%d\n",
+		fwd, fld, tb.sw.PartitionDrops())
+	var ls netsim.LinkStats
+	for _, c := range tb.allContainers() {
+		ls.Add(c.Link().Counters())
+	}
+	fmt.Fprintf(&b, "links        tx=%d bytes=%d queue-drops=%d loss=%d corrupt=%d dup=%d reorder=%d inflight-drops=%d\n",
+		ls.TxFrames, ls.TxBytes, ls.QueueDrops, ls.LossFrames,
+		ls.CorruptFrames, ls.DupFrames, ls.ReorderFrames, ls.InFlightDrops)
+	probes, connects, cracked, infections := tb.attacker.Stats()
+	fmt.Fprintf(&b, "attacker     probes=%d connects=%d cracked=%d infections=%d\n",
+		probes, connects, cracked, infections)
+	reg, cmds := tb.c2.Stats()
+	fmt.Fprintf(&b, "c2           registered=%d commands=%d bots=%d\n", reg, cmds, tb.c2.Bots())
+	fmt.Fprintf(&b, "devices      total=%d infected=%d\n", len(tb.devs), tb.InfectedCount())
+	restarts := 0
+	var crashes uint64
+	for _, s := range tb.devSups {
+		restarts += s.Restarts()
+	}
+	for _, c := range tb.allContainers() {
+		crashes += c.Crashes()
+	}
+	fmt.Fprintf(&b, "supervision  restarts=%d crashes=%d\n", restarts, crashes)
+	if s := tb.injector.String(); s != "" {
+		fmt.Fprintf(&b, "faults       %s\n", s)
+	}
+	return b.String()
 }
 
 // HTTPServer, VideoServer, FTPServer expose the TServer's benign services.
