@@ -1,0 +1,162 @@
+// Command benchperf runs the hot-path microbenchmarks programmatically and
+// emits a machine-readable JSON report — the artifact CI and EXPERIMENTS.md
+// track for the allocation-free scheduler, the pooled packet pipeline and
+// the window extractor:
+//
+//	benchperf                       run the core benchmarks, write BENCH_scheduler.json
+//	benchperf -out path.json        choose the output path
+//	benchperf -sweep                also run the (slow) parallel resilience sweep
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ddoshield/internal/experiments"
+	"ddoshield/internal/features"
+	"ddoshield/internal/packet"
+	"ddoshield/internal/sim"
+)
+
+// Result is one benchmark's headline numbers.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	GoMaxProcs int      `json:"gomaxprocs"`
+	GoVersion  string   `json:"go_version"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func measure(name string, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(fn)
+	return Result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+var noop sim.Handler = func() {}
+
+func benchScheduler(b *testing.B) {
+	s := sim.NewScheduler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, noop)
+		s.Step()
+	}
+}
+
+func benchSchedulerCancel(b *testing.B) {
+	s := sim.NewScheduler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := s.After(time.Microsecond, noop)
+		ev.Cancel()
+	}
+}
+
+func benchPacketRoundtrip(b *testing.B) {
+	src, dst := packet.MACFromUint64(1), packet.MACFromUint64(2)
+	ip := packet.IPv4{Src: packet.AddrFrom4(10, 0, 0, 1), Dst: packet.AddrFrom4(10, 0, 0, 2), TTL: 64}
+	tcp := packet.TCP{SrcPort: 40000, DstPort: 80, Seq: 1234, Flags: packet.FlagSYN, Window: 65535}
+	payload := []byte("GET / HTTP/1.1\r\n\r\n")
+	buf := make([]byte, 0, 128)
+	p := packet.Acquire()
+	defer p.Release()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = packet.AppendTCP(buf[:0], src, dst, ip, tcp, payload)
+		if err := packet.DecodeInto(p, 0, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchExtractorWindow(b *testing.B) {
+	e := features.NewExtractor(time.Second, func(w *features.Window) {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		base := sim.Time(i) * sim.Second
+		for j := 0; j < 1000; j++ {
+			e.Add(features.Basic{
+				Time:    base + sim.Time(j)*sim.Millisecond,
+				Src:     packet.AddrFrom4(10, 0, byte(j%4), byte(j%200)),
+				Dst:     packet.AddrFrom4(10, 0, 0, 1),
+				Proto:   packet.ProtoTCP,
+				SrcPort: uint16(30000 + j%512),
+				DstPort: 80,
+				Length:  60,
+				Flags:   packet.FlagSYN,
+				Seq:     uint32(j) * 1664525,
+			})
+		}
+		e.Flush()
+	}
+}
+
+type constModel struct{}
+
+func (constModel) Predict([]float64) int { return 1 }
+func (constModel) Name() string          { return "allpos" }
+
+func benchResilienceSweep(b *testing.B) {
+	sc := experiments.Quick()
+	sc.Devices = 4
+	sc.InfectionLead = 20 * time.Second
+	sc.DetectDuration = 20 * time.Second
+	models := []experiments.TrainedModel{{Model: constModel{}}}
+	cfg := experiments.ResilienceConfig{Intensities: []float64{0, 0.25, 0.5, 1}}
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.RunResilience(models, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_scheduler.json", "output path for the JSON report")
+	sweep := flag.Bool("sweep", false, "also run the (slow) parallel resilience sweep benchmark")
+	flag.Parse()
+
+	rep := Report{GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version()}
+	rep.Benchmarks = append(rep.Benchmarks,
+		measure("Scheduler", benchScheduler),
+		measure("SchedulerCancel", benchSchedulerCancel),
+		measure("PacketRoundtrip", benchPacketRoundtrip),
+		measure("ExtractorWindow", benchExtractorWindow),
+	)
+	if *sweep {
+		rep.Benchmarks = append(rep.Benchmarks, measure("ResilienceSweep", benchResilienceSweep))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchperf:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchperf:", err)
+		os.Exit(1)
+	}
+	for _, r := range rep.Benchmarks {
+		fmt.Printf("%-18s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -21,7 +21,7 @@ type Process struct {
 	rng     *sim.RNG
 	next    func() time.Duration
 	action  func()
-	pending *sim.Event
+	pending sim.Event
 	stopped bool
 	fired   uint64
 }
@@ -49,7 +49,7 @@ func NewUniform(sched *sim.Scheduler, rng *sim.RNG, lo, hi time.Duration, action
 
 // Start schedules the first arrival. Starting a started process is a no-op.
 func (p *Process) Start() {
-	if p.pending != nil || p.stopped {
+	if !p.pending.IsZero() || p.stopped {
 		return
 	}
 	p.schedule()
@@ -71,10 +71,8 @@ func (p *Process) schedule() {
 // Stop cancels all future arrivals.
 func (p *Process) Stop() {
 	p.stopped = true
-	if p.pending != nil {
-		p.pending.Cancel()
-		p.pending = nil
-	}
+	p.pending.Cancel()
+	p.pending = sim.Event{}
 }
 
 // Fired reports the number of arrivals so far.

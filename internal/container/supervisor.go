@@ -104,7 +104,7 @@ type Supervisor struct {
 	gaveUp     bool
 	suspended  bool // manual Stop suspends supervision until manual Start
 	restarting bool // true while the supervisor itself calls Start
-	pending    *sim.Event
+	pending    sim.Event
 
 	probeTicker     *sim.Ticker
 	probeFails      int
@@ -146,7 +146,7 @@ func (s *Supervisor) Unhealthy() bool { return s.unhealthy }
 func (s *Supervisor) UnhealthyEvents() uint64 { return s.unhealthyEvents }
 
 // RestartPending reports whether a supervised restart is scheduled.
-func (s *Supervisor) RestartPending() bool { return s.pending != nil }
+func (s *Supervisor) RestartPending() bool { return s.pending.Pending() }
 
 // Detach stops probing and cancels any pending restart, leaving the
 // container unsupervised.
@@ -162,10 +162,8 @@ func (s *Supervisor) Detach() {
 }
 
 func (s *Supervisor) cancelPending() {
-	if s.pending != nil {
-		s.pending.Cancel()
-		s.pending = nil
-	}
+	s.pending.Cancel()
+	s.pending = sim.Event{}
 }
 
 // noteExit handles a crash exit (Kill or unhealthy-kill).
@@ -199,7 +197,7 @@ func (s *Supervisor) noteManualStart() {
 }
 
 func (s *Supervisor) scheduleRestart() {
-	if s.pending != nil {
+	if s.pending.Pending() {
 		return
 	}
 	if s.cfg.MaxRestarts > 0 && s.restarts >= s.cfg.MaxRestarts {
@@ -221,7 +219,7 @@ func (s *Supervisor) scheduleRestart() {
 		}
 	}
 	s.pending = s.sched.After(delay, func() {
-		s.pending = nil
+		s.pending = sim.Event{}
 		if s.suspended || s.c.State() == StateRunning {
 			return
 		}

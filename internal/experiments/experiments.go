@@ -24,6 +24,7 @@ import (
 	"ddoshield/internal/ml/modelio"
 	"ddoshield/internal/ml/svm"
 	"ddoshield/internal/ml/vae"
+	"ddoshield/internal/parallel"
 	"ddoshield/internal/sim"
 	"ddoshield/internal/sysmon"
 	"ddoshield/internal/testbed"
@@ -66,6 +67,12 @@ type Scenario struct {
 	// SpeedFactor converts measured compute to IoT-class CPU%
 	// (see sysmon package doc).
 	SpeedFactor float64
+	// Workers bounds experiment-level parallelism: independent model fits
+	// and sweep points run on at most this many goroutines. 0 means one
+	// worker per CPU; 1 forces serial execution. Results are byte-identical
+	// regardless of the setting — every parallel site writes into
+	// index-addressed slices and shares no mutable state.
+	Workers int
 }
 
 // Quick is the CI-scale preset: ~90 s of simulated training traffic and
@@ -198,12 +205,16 @@ func (sc Scenario) TrainModels(ds *dataset.Dataset) (*TrainingResult, error) {
 		return metrics.NewReport(conf)
 	}
 
-	// Random Forest. Per Table I's observed behaviour (61.22% in real time,
-	// attributed by §IV-D to the shared per-window statistical features),
-	// the paper's RF decides on the window-statistics block; we train it on
-	// that block, scikit-style deep (unbounded in sklearn; depth 18 here).
-	// TrainFullVectorRF provides the basic∥stats ablation, which recovers
-	// to ~98% — the paper's §III-B "aggregation improves accuracy" claim.
+	// Serial data preparation: everything consuming the shared rng stays in
+	// program order so results match the historical serial run exactly.
+	//
+	// Random Forest data. Per Table I's observed behaviour (61.22% in real
+	// time, attributed by §IV-D to the shared per-window statistical
+	// features), the paper's RF decides on the window-statistics block; we
+	// train it on that block, scikit-style deep (unbounded in sklearn;
+	// depth 18 here). TrainFullVectorRF provides the basic∥stats ablation,
+	// which recovers to ~98% — the paper's §III-B "aggregation improves
+	// accuracy" claim.
 	off := features.NumBasic()
 	sxsOnly := make([][]float64, train.Len())
 	ys := make([]int, train.Len())
@@ -211,14 +222,6 @@ func (sc Scenario) TrainModels(ds *dataset.Dataset) (*TrainingResult, error) {
 		sxsOnly[i] = train.Samples[i].X[off:]
 		ys[i] = train.Samples[i].Y
 	}
-	rfInner, err := forest.Train(forest.Config{
-		Trees: 60, MaxDepth: 18, MinSamplesLeaf: 1, Seed: sc.Seed + 11,
-	}, sxsOnly, ys)
-	if err != nil {
-		return nil, fmt.Errorf("train rf: %w", err)
-	}
-	rf := ml.OffsetView{Inner: rfInner, Offset: off}
-	res.RF = TrainedModel{Model: rf, TrainReport: evaluate(rf, nil)}
 
 	// Standardized copy for the distance/gradient models.
 	scaler := dataset.FitStandard(train)
@@ -230,22 +233,50 @@ func (sc Scenario) TrainModels(ds *dataset.Dataset) (*TrainingResult, error) {
 	}
 	sxs, sys := scaledTrain.XY()
 
-	km, err := kmeans.Train(kmeans.Config{
-		InitClusters: 24, Gamma: 1.5, Seed: sc.Seed + 12,
-	}, sxs, sys)
-	if err != nil {
-		return nil, fmt.Errorf("train kmeans: %w", err)
+	// The three fits are independent (each seeds its own substream) and
+	// evaluate against the read-only test split, so they run on the worker
+	// pool; each writes only its own TrainedModel slot and error slot.
+	fits := []func() error{
+		func() error {
+			rfInner, err := forest.Train(forest.Config{
+				Trees: 60, MaxDepth: 18, MinSamplesLeaf: 1, Seed: sc.Seed + 11,
+			}, sxsOnly, ys)
+			if err != nil {
+				return fmt.Errorf("train rf: %w", err)
+			}
+			rf := ml.OffsetView{Inner: rfInner, Offset: off}
+			res.RF = TrainedModel{Model: rf, TrainReport: evaluate(rf, nil)}
+			return nil
+		},
+		func() error {
+			km, err := kmeans.Train(kmeans.Config{
+				InitClusters: 24, Gamma: 1.5, Seed: sc.Seed + 12,
+			}, sxs, sys)
+			if err != nil {
+				return fmt.Errorf("train kmeans: %w", err)
+			}
+			res.KMeans = TrainedModel{Model: km, Scaler: scaler, TrainReport: evaluate(km, scaler)}
+			return nil
+		},
+		func() error {
+			net, _, err := cnn.Train(cnn.Config{
+				Conv1Filters: 8, Conv2Filters: 16, Hidden: 48,
+				Epochs: 6, BatchSize: 64, LearningRate: 0.01, Seed: sc.Seed + 13,
+			}, sxs, sys)
+			if err != nil {
+				return fmt.Errorf("train cnn: %w", err)
+			}
+			res.CNN = TrainedModel{Model: net, Scaler: scaler, TrainReport: evaluate(net, scaler)}
+			return nil
+		},
 	}
-	res.KMeans = TrainedModel{Model: km, Scaler: scaler, TrainReport: evaluate(km, scaler)}
-
-	net, _, err := cnn.Train(cnn.Config{
-		Conv1Filters: 8, Conv2Filters: 16, Hidden: 48,
-		Epochs: 6, BatchSize: 64, LearningRate: 0.01, Seed: sc.Seed + 13,
-	}, sxs, sys)
-	if err != nil {
-		return nil, fmt.Errorf("train cnn: %w", err)
+	errs := make([]error, len(fits))
+	parallel.For(len(fits), sc.Workers, func(i int) { errs[i] = fits[i]() })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	res.CNN = TrainedModel{Model: net, Scaler: scaler, TrainReport: evaluate(net, scaler)}
 
 	for _, tm := range []*TrainedModel{&res.RF, &res.KMeans, &res.CNN} {
 		m := tm.Model

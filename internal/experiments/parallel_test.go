@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestResilienceParallelMatchesSerial is the determinism regression guard
+// for the parallel sweep: a forced-serial run (Workers=1) and a parallel run
+// (Workers=4) at the same seed must produce identical Points and identical
+// rendered reports, byte for byte.
+func TestResilienceParallelMatchesSerial(t *testing.T) {
+	sc := tiny()
+	sc.Devices = 5
+	sc.InfectionLead = 30 * time.Second
+	sc.DetectDuration = 40 * time.Second
+	models := []TrainedModel{
+		{Model: constModel{name: "allpos", class: 1}},
+		{Model: constModel{name: "allneg", class: 0}},
+	}
+	cfg := ResilienceConfig{Intensities: []float64{0, 0.5, 1}}
+
+	sc.Workers = 1
+	serial, err := sc.RunResilience(models, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Workers = 4
+	par, err := sc.RunResilience(models, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serial.Points, par.Points) {
+		t.Fatalf("parallel sweep diverged from serial:\nserial: %+v\nparallel: %+v",
+			serial.Points, par.Points)
+	}
+	fs, fp := FormatResilience(serial), FormatResilience(par)
+	if fs != fp {
+		t.Fatalf("rendered reports diverged:\n--- serial ---\n%s--- parallel ---\n%s", fs, fp)
+	}
+}
+
+// BenchmarkResilienceSweep measures the full fault-intensity sweep; with
+// Workers=0 it uses every available CPU, so this is the wall-clock speedup
+// benchmark for the parallel sweep harness.
+func BenchmarkResilienceSweep(b *testing.B) {
+	sc := tiny()
+	sc.Devices = 4
+	sc.InfectionLead = 20 * time.Second
+	sc.DetectDuration = 20 * time.Second
+	models := []TrainedModel{{Model: constModel{name: "allpos", class: 1}}}
+	cfg := ResilienceConfig{Intensities: []float64{0, 0.25, 0.5, 1}}
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.RunResilience(models, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"ddoshield/internal/faults"
 	"ddoshield/internal/ids"
 	"ddoshield/internal/ml/metrics"
+	"ddoshield/internal/parallel"
 	"ddoshield/internal/report"
 	"ddoshield/internal/sysmon"
 )
@@ -91,17 +92,29 @@ func (r *ResilienceResult) Curve(model string, metric func(metrics.Report) float
 // replays the same seeded detection campaign under a progressively harsher
 // randomly generated (but seeded, hence reproducible) fault plan covering
 // link flaps, impairments, crash loops and partitions.
+// Every intensity point builds its own testbed, scheduler and RNG streams,
+// so points run concurrently on Scenario.Workers goroutines; the shared
+// trained models are only read (all Predict implementations are
+// concurrency-safe). Points land in an index-addressed slice, so the result
+// is byte-identical to a serial (Workers=1) run.
 func (sc Scenario) RunResilience(models []TrainedModel, cfg ResilienceConfig) (*ResilienceResult, error) {
 	cfg = cfg.withDefaults(sc)
-	res := &ResilienceResult{}
-	for _, intensity := range cfg.Intensities {
-		pt, err := sc.runResiliencePoint(models, intensity, cfg)
+	points := make([]ResiliencePoint, len(cfg.Intensities))
+	errs := make([]error, len(cfg.Intensities))
+	parallel.For(len(cfg.Intensities), sc.Workers, func(i int) {
+		pt, err := sc.runResiliencePoint(models, cfg.Intensities[i], cfg)
 		if err != nil {
-			return nil, fmt.Errorf("resilience intensity %.2f: %w", intensity, err)
+			errs[i] = fmt.Errorf("resilience intensity %.2f: %w", cfg.Intensities[i], err)
+			return
 		}
-		res.Points = append(res.Points, *pt)
+		points[i] = *pt
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	return res, nil
+	return &ResilienceResult{Points: points}, nil
 }
 
 func (sc Scenario) runResiliencePoint(models []TrainedModel, intensity float64, cfg ResilienceConfig) (*ResiliencePoint, error) {

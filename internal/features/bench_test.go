@@ -1,0 +1,56 @@
+package features
+
+import (
+	"testing"
+	"time"
+
+	"ddoshield/internal/packet"
+	"ddoshield/internal/sim"
+)
+
+// fillWindow appends n packets landing inside window widx to e.
+func fillWindow(e *Extractor, widx int64, n int) {
+	base := sim.Time(widx) * sim.Second
+	for i := 0; i < n; i++ {
+		b := Basic{
+			Time:    base + sim.Time(i)*sim.Millisecond,
+			Src:     packet.AddrFrom4(10, 0, byte(i%4), byte(i%200)),
+			Dst:     packet.AddrFrom4(10, 0, 0, 1),
+			Proto:   packet.ProtoTCP,
+			SrcPort: uint16(30000 + i%512),
+			DstPort: 80,
+			Length:  60,
+			Flags:   packet.FlagSYN,
+			Seq:     uint32(i) * 1664525,
+		}
+		e.Add(b)
+	}
+}
+
+// BenchmarkExtractorWindow measures closing one 1000-packet window:
+// ComputeStats over the reused scratch maps plus the emission itself. One
+// iteration = one window.
+func BenchmarkExtractorWindow(b *testing.B) {
+	e := NewExtractor(time.Second, func(w *Window) {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fillWindow(e, int64(i), 1000)
+		e.Flush()
+	}
+}
+
+func TestExtractorSteadyStateAllocs(t *testing.T) {
+	e := NewExtractor(time.Second, func(w *Window) {})
+	// Warm the packet buffer and the scratch maps' bucket arrays.
+	fillWindow(e, 0, 200)
+	e.Flush()
+	widx := int64(1)
+	allocs := testing.AllocsPerRun(50, func() {
+		fillWindow(e, widx, 200)
+		e.Flush()
+		widx++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state window close allocated %.1f/op, want 0", allocs)
+	}
+}

@@ -101,17 +101,48 @@ type Stats struct {
 // window counts as short-lived.
 const shortFlowPackets = 3
 
+// statsScratch holds the histogram maps ComputeStats needs. An Extractor
+// keeps one and clears it per window, so steady-state window closes reuse
+// the map storage instead of reallocating four maps per second of capture.
+type statsScratch struct {
+	dstPorts   map[uint16]int
+	srcs       map[packet.Addr]int
+	flows      map[packet.FlowKey]int
+	synTriples map[packet.FlowKey]int
+}
+
+func (sc *statsScratch) reset() {
+	if sc.dstPorts == nil {
+		sc.dstPorts = make(map[uint16]int)
+		sc.srcs = make(map[packet.Addr]int)
+		sc.flows = make(map[packet.FlowKey]int)
+		sc.synTriples = make(map[packet.FlowKey]int)
+		return
+	}
+	clear(sc.dstPorts)
+	clear(sc.srcs)
+	clear(sc.flows)
+	clear(sc.synTriples)
+}
+
 // ComputeStats computes the window statistics over a packet batch.
 func ComputeStats(pkts []Basic) Stats {
+	var sc statsScratch
+	return sc.compute(pkts)
+}
+
+// compute is ComputeStats over reusable scratch maps.
+func (sc *statsScratch) compute(pkts []Basic) Stats {
 	var st Stats
 	st.PacketCount = len(pkts)
 	if len(pkts) == 0 {
 		return st
 	}
-	dstPorts := make(map[uint16]int)
-	srcs := make(map[packet.Addr]int)
-	flows := make(map[packet.FlowKey]int)
-	synTriples := make(map[packet.FlowKey]int)
+	sc.reset()
+	dstPorts := sc.dstPorts
+	srcs := sc.srcs
+	flows := sc.flows
+	synTriples := sc.synTriples
 	var seqMean, seqM2 float64
 	var seqN int
 	udp := 0
@@ -291,11 +322,19 @@ func (w *Window) Vectors() [][]float64 {
 
 // Extractor buckets a packet stream into fixed windows (1 s in the paper's
 // experiments, user-configurable) and emits each closed window.
+//
+// The emitted *Window (including its Packets slice) is owned by the
+// extractor and valid only for the duration of the OnWindow callback: the
+// next window reuses the same storage. Callbacks that need to keep window
+// data must copy it before returning.
 type Extractor struct {
-	window sim.Time
-	cur    []Basic
-	curIdx int64
-	// OnWindow receives each closed, non-empty window.
+	window  sim.Time
+	cur     []Basic
+	curIdx  int64
+	scratch statsScratch
+	win     Window // reused emission buffer
+	// OnWindow receives each closed, non-empty window. See the type comment
+	// for the window's lifetime contract.
 	OnWindow func(w *Window)
 
 	emitted uint64
@@ -335,22 +374,25 @@ func (e *Extractor) AddPacket(p *packet.Packet) {
 }
 
 // Flush closes the current window, emitting it if non-empty. Call once at
-// end of stream.
+// end of stream. The emitted window is only valid during the OnWindow
+// callback (see the Extractor contract).
 func (e *Extractor) Flush() {
 	if len(e.cur) == 0 {
 		return
 	}
-	st := ComputeStats(e.cur)
-	w := &Window{
+	e.win = Window{
 		Start:   sim.Time(e.curIdx) * e.window,
 		Packets: e.cur,
-		Stats:   st,
+		Stats:   e.scratch.compute(e.cur),
 	}
-	e.cur = nil
 	e.emitted++
 	if e.OnWindow != nil {
-		e.OnWindow(w)
+		e.OnWindow(&e.win)
 	}
+	// Reclaim the packet buffer for the next window; drop the alias held by
+	// the emission buffer so stale reads fail loudly rather than silently.
+	e.cur = e.cur[:0]
+	e.win.Packets = nil
 }
 
 // Stats reports windows emitted and packets consumed.

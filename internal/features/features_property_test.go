@@ -99,7 +99,7 @@ func TestExtractorPartitionProperty(t *testing.T) {
 		var total int
 		var windows []*Window
 		e := NewExtractor(0, func(w *Window) {
-			windows = append(windows, w)
+			windows = append(windows, cloneWindow(w))
 			total += len(w.Packets)
 		})
 		now := sim.Time(0)

@@ -221,9 +221,17 @@ func TestStatisticalBlockSharedAcrossWindowPackets(t *testing.T) {
 	}
 }
 
+// cloneWindow deep-copies an emitted window: the extractor reuses its
+// emission buffer across windows, so tests that retain windows must copy.
+func cloneWindow(w *Window) *Window {
+	c := *w
+	c.Packets = append([]Basic(nil), w.Packets...)
+	return &c
+}
+
 func TestExtractorWindowing(t *testing.T) {
 	var windows []*Window
-	e := NewExtractor(time.Second, func(w *Window) { windows = append(windows, w) })
+	e := NewExtractor(time.Second, func(w *Window) { windows = append(windows, cloneWindow(w)) })
 	// 3 packets in window 0, 2 in window 2 (window 1 empty).
 	e.Add(tcpBasic(100*sim.Millisecond, 1, 1, 1, 80, 0, 0))
 	e.Add(tcpBasic(500*sim.Millisecond, 1, 1, 1, 80, 0, 0))
@@ -248,7 +256,7 @@ func TestExtractorWindowing(t *testing.T) {
 
 func TestExtractorCustomWindow(t *testing.T) {
 	var windows []*Window
-	e := NewExtractor(5*time.Second, func(w *Window) { windows = append(windows, w) })
+	e := NewExtractor(5*time.Second, func(w *Window) { windows = append(windows, cloneWindow(w)) })
 	if e.WindowSize() != 5*time.Second {
 		t.Fatal("WindowSize")
 	}

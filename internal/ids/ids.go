@@ -102,9 +102,13 @@ func (u *Unit) Tap() netsim.Tap {
 			return
 		}
 		start := time.Now()
-		if p, err := packet.Decode(t, raw); err == nil {
+		// Pooled decode: AddPacket copies the Basic features out by value,
+		// so the Packet never outlives the tap callback.
+		p := packet.Acquire()
+		if err := packet.DecodeInto(p, t, raw); err == nil {
 			u.extractor.AddPacket(p)
 		}
+		p.Release()
 		u.addCPU(time.Since(start))
 	}
 }

@@ -8,6 +8,7 @@ package cnn
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"ddoshield/internal/sim"
 )
@@ -85,9 +86,6 @@ type Network struct {
 
 	// Geometry, precomputed at construction.
 	len1, pool1, len2, pool2, flat int
-	// scratch is the reused inference buffer (the simulation is
-	// single-threaded, so one buffer suffices).
-	scratch activations
 }
 
 // Name implements ml.Classifier.
@@ -321,15 +319,23 @@ func maxpool(in, out [][]float64, arg [][]int, outLen int) ([][]float64, [][]int
 	return out, arg
 }
 
-// Predict returns the argmax class for x.
+// actPool recycles inference activation buffers. Predict pulls a buffer per
+// call instead of mutating Network state, so trained networks are safe to
+// share across goroutines — the parallel experiment sweeps rely on that.
+var actPool = sync.Pool{New: func() any { return new(activations) }}
+
+// Predict returns the argmax class for x. It is safe for concurrent use.
 func (n *Network) Predict(x []float64) int {
-	n.forward(x, &n.scratch)
+	a := actPool.Get().(*activations)
+	n.forward(x, a)
 	best, bestP := 0, -1.0
-	for o, p := range n.scratch.prob {
+	for o, p := range a.prob {
 		if p > bestP {
 			best, bestP = o, p
 		}
 	}
+	a.in = nil // do not pin the caller's vector in the pool
+	actPool.Put(a)
 	return best
 }
 

@@ -93,7 +93,9 @@ func (t *Tree) pathLength(x []float64) float64 {
 }
 
 // Score returns the anomaly score in (0,1): ~1 for clear outliers, ~0.5
-// for unremarkable points.
+// for unremarkable points. It is safe for concurrent use: the normalizer
+// fallback (needed after gob decode, which drops the unexported cache) is
+// computed locally rather than written back to the model.
 func (m *Model) Score(x []float64) float64 {
 	if len(m.TreeList) == 0 {
 		return 0
@@ -103,10 +105,11 @@ func (m *Model) Score(x []float64) float64 {
 		sum += t.pathLength(x)
 	}
 	mean := sum / float64(len(m.TreeList))
-	if m.subC == 0 {
-		m.subC = cFactor(m.Cfg.SubsampleSize)
+	c := m.subC
+	if c == 0 {
+		c = cFactor(m.Cfg.SubsampleSize)
 	}
-	return math.Pow(2, -mean/m.subC)
+	return math.Pow(2, -mean/c)
 }
 
 // Predict returns 1 (malicious) when the anomaly score crosses the

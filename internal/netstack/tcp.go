@@ -105,7 +105,7 @@ type Conn struct {
 	peerFIN bool
 
 	// Retransmission.
-	rtx     *sim.Event
+	rtx     sim.Event
 	rto     time.Duration
 	retries int
 
@@ -321,7 +321,7 @@ func (c *Conn) pump() {
 			c.state = StateLastAck
 		}
 	}
-	if sentAny && c.rtx == nil {
+	if sentAny && !c.rtx.Pending() {
 		c.armRetransmit()
 	}
 }
@@ -351,14 +351,12 @@ func (c *Conn) armRetransmit() {
 }
 
 func (c *Conn) disarmRetransmit() {
-	if c.rtx != nil {
-		c.rtx.Cancel()
-		c.rtx = nil
-	}
+	c.rtx.Cancel()
+	c.rtx = sim.Event{}
 }
 
 func (c *Conn) onRetransmitTimeout() {
-	c.rtx = nil
+	c.rtx = sim.Event{}
 	if c.state == StateClosed || c.state == StateTimeWait {
 		return
 	}

@@ -35,25 +35,41 @@ type Packet struct {
 // Decode dissects a raw frame captured at time t. Dissection is best-effort:
 // a frame whose inner layers fail to parse is still returned with the layers
 // that did parse, because a flood tool may emit malformed packets on purpose.
+//
+// Decode allocates a fresh Packet per frame; hot capture taps that do not
+// retain the packet past the callback should use DecodeInto with a pooled
+// Packet from Acquire instead.
 func Decode(t sim.Time, raw []byte) (*Packet, error) {
-	p := &Packet{Time: t, Raw: raw}
+	p := &Packet{}
+	if err := DecodeInto(p, t, raw); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodeInto dissects a raw frame captured at time t into p, overwriting all
+// of p's fields. p may come from Acquire (see the pooling contract there) or
+// be any caller-owned Packet being reused across frames. The error cases
+// match Decode; on error p is left fully reset except for Time and Raw.
+func DecodeInto(p *Packet, t sim.Time, raw []byte) error {
+	*p = Packet{Time: t, Raw: raw}
 	eth, rest, err := UnmarshalEthernet(raw)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	p.Eth = eth
 	switch eth.Type {
 	case EtherTypeARP:
 		arp, err := UnmarshalARP(rest)
 		if err != nil {
-			return p, nil
+			return nil
 		}
 		p.HasARP = true
 		p.ARP = arp
 	case EtherTypeIPv4:
 		ip, payload, err := UnmarshalIPv4(rest)
 		if err != nil {
-			return p, nil
+			return nil
 		}
 		p.HasIPv4 = true
 		p.IPv4 = ip
@@ -75,7 +91,7 @@ func Decode(t sim.Time, raw []byte) (*Packet, error) {
 			}
 		}
 	}
-	return p, nil
+	return nil
 }
 
 // Len reports the on-wire frame length in bytes.
@@ -159,32 +175,54 @@ func (p *Packet) String() string {
 		p.Time, p.Eth.Src, p.Eth.Dst, uint16(p.Eth.Type), len(p.Raw))
 }
 
-// BuildTCP assembles a complete Ethernet+IPv4+TCP frame. It is the low-level
-// builder used by the netstack and, directly, by the Mirai flood engines
-// (which forge headers without a connection, exactly as the real malware's
-// raw-socket attacks do).
-func BuildTCP(srcMAC, dstMAC MAC, ip IPv4, tcp TCP, payload []byte) []byte {
+// AppendTCP appends a complete Ethernet+IPv4+TCP frame to b and returns the
+// extended slice. It marshals every layer directly into the destination —
+// no intermediate segment buffer — so callers that own a reusable scratch
+// buffer build frames without allocating. The frame builders below and the
+// Mirai flood engines are the hot callers.
+func AppendTCP(b []byte, srcMAC, dstMAC MAC, ip IPv4, tcp TCP, payload []byte) []byte {
 	ip.Proto = ProtoTCP
 	eth := Ethernet{Dst: dstMAC, Src: srcMAC, Type: EtherTypeIPv4}
-	seg := tcp.Marshal(nil, ip.Src, ip.Dst, payload)
-	b := eth.Marshal(make([]byte, 0, EthernetHeaderLen+IPv4HeaderLen+len(seg)))
-	b = ip.Marshal(b, len(seg))
-	return append(b, seg...)
+	b = eth.Marshal(b)
+	b = ip.Marshal(b, TCPHeaderLen+len(payload))
+	return tcp.Marshal(b, ip.Src, ip.Dst, payload)
 }
 
-// BuildUDP assembles a complete Ethernet+IPv4+UDP frame.
-func BuildUDP(srcMAC, dstMAC MAC, ip IPv4, udp UDP, payload []byte) []byte {
+// AppendUDP appends a complete Ethernet+IPv4+UDP frame to b and returns the
+// extended slice. See AppendTCP for the buffer-reuse contract.
+func AppendUDP(b []byte, srcMAC, dstMAC MAC, ip IPv4, udp UDP, payload []byte) []byte {
 	ip.Proto = ProtoUDP
 	eth := Ethernet{Dst: dstMAC, Src: srcMAC, Type: EtherTypeIPv4}
-	seg := udp.Marshal(nil, ip.Src, ip.Dst, payload)
-	b := eth.Marshal(make([]byte, 0, EthernetHeaderLen+IPv4HeaderLen+len(seg)))
-	b = ip.Marshal(b, len(seg))
-	return append(b, seg...)
+	b = eth.Marshal(b)
+	b = ip.Marshal(b, UDPHeaderLen+len(payload))
+	return udp.Marshal(b, ip.Src, ip.Dst, payload)
 }
 
-// BuildARP assembles a complete Ethernet+ARP frame.
-func BuildARP(srcMAC, dstMAC MAC, a ARP) []byte {
+// AppendARP appends a complete Ethernet+ARP frame to b and returns the
+// extended slice.
+func AppendARP(b []byte, srcMAC, dstMAC MAC, a ARP) []byte {
 	eth := Ethernet{Dst: dstMAC, Src: srcMAC, Type: EtherTypeARP}
-	b := eth.Marshal(make([]byte, 0, EthernetHeaderLen+ARPLen))
-	return a.Marshal(b)
+	return a.Marshal(eth.Marshal(b))
+}
+
+// BuildTCP assembles a complete Ethernet+IPv4+TCP frame in one exactly-sized
+// allocation. It is the low-level builder used by the netstack and, directly,
+// by the Mirai flood engines (which forge headers without a connection,
+// exactly as the real malware's raw-socket attacks do).
+func BuildTCP(srcMAC, dstMAC MAC, ip IPv4, tcp TCP, payload []byte) []byte {
+	b := make([]byte, 0, EthernetHeaderLen+IPv4HeaderLen+TCPHeaderLen+len(payload))
+	return AppendTCP(b, srcMAC, dstMAC, ip, tcp, payload)
+}
+
+// BuildUDP assembles a complete Ethernet+IPv4+UDP frame in one exactly-sized
+// allocation.
+func BuildUDP(srcMAC, dstMAC MAC, ip IPv4, udp UDP, payload []byte) []byte {
+	b := make([]byte, 0, EthernetHeaderLen+IPv4HeaderLen+UDPHeaderLen+len(payload))
+	return AppendUDP(b, srcMAC, dstMAC, ip, udp, payload)
+}
+
+// BuildARP assembles a complete Ethernet+ARP frame in one exactly-sized
+// allocation.
+func BuildARP(srcMAC, dstMAC MAC, a ARP) []byte {
+	return AppendARP(make([]byte, 0, EthernetHeaderLen+ARPLen), srcMAC, dstMAC, a)
 }

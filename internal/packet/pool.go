@@ -1,0 +1,32 @@
+package packet
+
+import "sync"
+
+// pktPool recycles Packet structs for the capture hot path. A simulated DDoS
+// run decodes one Packet per captured frame at every tap; without pooling
+// that is the single largest allocation source in the pipeline.
+var pktPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// Acquire returns a Packet from the pool, ready to be filled by DecodeInto.
+// Its previous contents are unspecified; DecodeInto overwrites every field.
+//
+// Ownership contract: the caller owns the Packet until it calls Release.
+// Taps that hand a pooled Packet to observers must guarantee the observers
+// do not retain the pointer (or any field referencing it) past the callback
+// return — after Release the struct is recycled and will be overwritten by
+// an unrelated frame. Code that needs to keep a decoded packet should use
+// Decode, or copy the fields it needs before returning.
+func Acquire() *Packet {
+	return pktPool.Get().(*Packet)
+}
+
+// Release returns a Packet obtained from Acquire to the pool. The caller
+// must not touch p afterwards. Release on a Packet that observers retained
+// is a use-after-free-style bug; see the contract on Acquire.
+func (p *Packet) Release() {
+	// Drop slice references so pooled packets do not pin frame buffers alive
+	// between captures.
+	p.Raw = nil
+	p.Payload = nil
+	pktPool.Put(p)
+}

@@ -1,0 +1,58 @@
+// Package parallel provides the bounded worker pool behind experiment
+// sweeps. Each sweep point runs an independent simulation with its own
+// scheduler and RNG, so points can execute concurrently — determinism is
+// preserved by addressing results into index-fixed slices, never by sharing
+// mutable state between workers.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count setting: n > 0 is used as-is, anything
+// else (the zero value of a config field) means one worker per available
+// CPU.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n) on at most workers goroutines.
+// workers is resolved through Workers, and with a single worker the loop
+// runs inline on the caller's goroutine — the forced-serial mode the
+// determinism regression tests compare against. fn must not share mutable
+// state across indices; write results to result[i].
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

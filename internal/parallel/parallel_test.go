@@ -1,0 +1,51 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-1) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		var hits [n]int32
+		For(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForSerialRunsInOrder(t *testing.T) {
+	var order []int
+	For(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	ran := false
+	For(0, 4, func(int) { ran = true })
+	For(-5, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for n <= 0")
+	}
+}

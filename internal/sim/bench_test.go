@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// noopHandler is package-level so scheduling it allocates no closure.
+var noopHandler Handler = func() {}
+
+// BenchmarkScheduler measures the steady-state schedule+fire cycle: one
+// event is scheduled and fired per iteration, recycling nodes through the
+// free list. The alloc guard below pins this at zero allocations.
+func BenchmarkScheduler(b *testing.B) {
+	s := NewScheduler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, noopHandler)
+		s.Step()
+	}
+}
+
+// BenchmarkSchedulerDeep measures schedule+fire against a populated queue,
+// so sift costs at realistic queue depths are visible.
+func BenchmarkSchedulerDeep(b *testing.B) {
+	s := NewScheduler()
+	for i := 0; i < 1024; i++ {
+		s.After(time.Duration(i+1)*time.Hour, noopHandler)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, noopHandler)
+		s.Step()
+	}
+}
+
+// BenchmarkSchedulerCancel measures the schedule+cancel path, which removes
+// the event from the heap immediately via its tracked index.
+func BenchmarkSchedulerCancel(b *testing.B) {
+	s := NewScheduler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := s.After(time.Microsecond, noopHandler)
+		ev.Cancel()
+	}
+}
+
+func TestSchedulerSteadyStateAllocs(t *testing.T) {
+	s := NewScheduler()
+	// Warm the node pool and the queue's backing array.
+	for i := 0; i < 8; i++ {
+		s.After(0, noopHandler)
+	}
+	s.Drain()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(time.Microsecond, noopHandler)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+fire allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSchedulerCancelAllocs(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 8; i++ {
+		s.After(0, noopHandler)
+	}
+	s.Drain()
+	allocs := testing.AllocsPerRun(1000, func() {
+		ev := s.After(time.Microsecond, noopHandler)
+		ev.Cancel()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+cancel allocated %.1f/op, want 0", allocs)
+	}
+}

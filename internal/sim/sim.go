@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -47,63 +46,58 @@ func FromDuration(d time.Duration) Time { return Time(d) }
 // Handler is a callback scheduled to run at a simulated instant.
 type Handler func()
 
-// Event is a scheduled callback. Events are ordered by firing time; events
-// scheduled for the same instant fire in scheduling order (FIFO), which
-// keeps the simulation deterministic.
-type Event struct {
-	at      Time
-	seq     uint64
-	index   int // heap index; -1 once removed
-	fn      Handler
-	cancel  bool
-	blocked bool
+// node is a pooled heap entry. Nodes are recycled through the scheduler's
+// free list the moment they fire or are cancelled; the id generation counter
+// is bumped on every recycle so stale Event handles can detect that the node
+// they point at no longer belongs to them.
+type node struct {
+	s   *Scheduler
+	at  Time
+	seq uint64 // FIFO tiebreak for same-instant events
+	id  uint64 // generation; incremented when the node is released
+	idx int    // heap index; -1 while on the free list
+	fn  Handler
 }
 
-// At reports the instant the event is scheduled to fire.
+// Event is a by-value handle to a scheduled callback. The zero Event is
+// inert: Cancel and the accessors are no-ops on it. Handles stay safe after
+// the event fires or is cancelled — the underlying pooled node carries a
+// generation counter, so a stale handle can never cancel an unrelated event
+// that recycled the same node.
+//
+// Events are ordered by firing time; events scheduled for the same instant
+// fire in scheduling order (FIFO), which keeps the simulation deterministic.
+type Event struct {
+	n         *node
+	id        uint64
+	at        Time
+	cancelled bool
+}
+
+// At reports the instant the event was scheduled to fire.
 func (e *Event) At() Time { return e.at }
 
-// Cancelled reports whether Cancel was called before the event fired.
-func (e *Event) Cancelled() bool { return e.cancel }
+// IsZero reports whether the handle is the zero Event (never scheduled).
+func (e *Event) IsZero() bool { return e.n == nil }
 
-// Cancel prevents a pending event from firing. Cancelling an event that has
+// Pending reports whether the event is still waiting to fire: it was
+// scheduled, has not fired, and was not cancelled.
+func (e *Event) Pending() bool { return e.n != nil && e.n.id == e.id }
+
+// Cancelled reports whether Cancel was called through this handle before the
+// event fired.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Cancel prevents a pending event from firing and removes it from the event
+// queue immediately (no tombstone is left behind — long-lived tickers and
+// supervisor timers no longer bloat the queue). Cancelling an event that has
 // already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() { e.cancel = true }
-
-// eventQueue is a min-heap of events ordered by (at, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
+func (e *Event) Cancel() {
+	if e.n == nil || e.cancelled || e.n.id != e.id {
 		return
 	}
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+	e.cancelled = true
+	e.n.s.removeNode(e.n)
 }
 
 // ErrStopped is returned by Run when the simulation was halted with Stop
@@ -111,12 +105,14 @@ func (q *eventQueue) Pop() any {
 var ErrStopped = errors.New("simulation stopped")
 
 // Scheduler is the simulation kernel: it owns the virtual clock and the
-// event queue. A Scheduler is not safe for concurrent use; the entire
-// simulated world runs on a single logical thread, exactly as an NS-3
-// simulation does.
+// event queue — an intrusive, index-tracked binary min-heap over pooled
+// event nodes, so steady-state schedule/fire cycles allocate nothing. A
+// Scheduler is not safe for concurrent use; the entire simulated world runs
+// on a single logical thread, exactly as an NS-3 simulation does.
 type Scheduler struct {
 	now     Time
-	queue   eventQueue
+	queue   []*node // binary min-heap ordered by (at, seq)
+	free    []*node // recycled nodes
 	seq     uint64
 	running bool
 	stopped bool
@@ -132,34 +128,49 @@ func NewScheduler() *Scheduler {
 func (s *Scheduler) Now() Time { return s.now }
 
 // Len reports the number of pending (not yet fired, not cancelled) events.
-func (s *Scheduler) Len() int {
-	n := 0
-	for _, ev := range s.queue {
-		if !ev.cancel {
-			n++
-		}
-	}
-	return n
-}
+// Cancelled events are removed from the queue eagerly, so this is O(1).
+func (s *Scheduler) Len() int { return len(s.queue) }
 
 // Fired reports the total number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
+// alloc takes a node from the free list, or mints one.
+func (s *Scheduler) alloc() *node {
+	if n := len(s.free); n > 0 {
+		nd := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return nd
+	}
+	return &node{s: s, id: 1, idx: -1}
+}
+
+// release invalidates outstanding handles and recycles the node.
+func (s *Scheduler) release(nd *node) {
+	nd.id++
+	nd.fn = nil
+	nd.idx = -1
+	s.free = append(s.free, nd)
+}
+
 // At schedules fn to run at the absolute simulated instant t. Scheduling in
 // the past is an error that would break causality, so it is clamped to the
 // current instant instead.
-func (s *Scheduler) At(t Time, fn Handler) *Event {
+func (s *Scheduler) At(t Time, fn Handler) Event {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &Event{at: t, seq: s.seq, fn: fn}
+	nd := s.alloc()
+	nd.at = t
+	nd.seq = s.seq
+	nd.fn = fn
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return ev
+	s.push(nd)
+	return Event{n: nd, id: nd.id, at: t}
 }
 
 // After schedules fn to run d of simulated time from now.
-func (s *Scheduler) After(d time.Duration, fn Handler) *Event {
+func (s *Scheduler) After(d time.Duration, fn Handler) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -184,20 +195,16 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // Step fires the single earliest pending event and advances the clock to
 // its instant. It reports false when no events remain.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		ev, ok := heap.Pop(&s.queue).(*Event)
-		if !ok {
-			return false
-		}
-		if ev.cancel {
-			continue
-		}
-		s.now = ev.at
-		s.fired++
-		ev.fn()
-		return true
+	if len(s.queue) == 0 {
+		return false
 	}
-	return false
+	nd := s.popMin()
+	s.now = nd.at
+	fn := nd.fn
+	s.release(nd) // recycle before firing so fn can reuse the node
+	s.fired++
+	fn()
+	return true
 }
 
 // Run executes events in order until the clock passes horizon, the queue
@@ -214,12 +221,7 @@ func (s *Scheduler) Run(horizon Time) error {
 		if s.stopped {
 			return ErrStopped
 		}
-		next := s.queue[0]
-		if next.cancel {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if next.at > horizon {
+		if s.queue[0].at > horizon {
 			break
 		}
 		s.Step()
@@ -243,35 +245,131 @@ func (s *Scheduler) Drain() {
 	}
 }
 
+// --- intrusive binary min-heap over (at, seq) ---
+
+func nodeLess(a, b *node) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) push(nd *node) {
+	nd.idx = len(s.queue)
+	s.queue = append(s.queue, nd)
+	s.siftUp(nd.idx)
+}
+
+func (s *Scheduler) popMin() *node {
+	nd := s.queue[0]
+	last := len(s.queue) - 1
+	s.queue[0] = s.queue[last]
+	s.queue[0].idx = 0
+	s.queue[last] = nil
+	s.queue = s.queue[:last]
+	if last > 0 {
+		s.siftDown(0)
+	}
+	return nd
+}
+
+// removeNode deletes an arbitrary pending node from the heap via its tracked
+// index and recycles it.
+func (s *Scheduler) removeNode(nd *node) {
+	i := nd.idx
+	last := len(s.queue) - 1
+	if i < 0 || i > last || s.queue[i] != nd {
+		return
+	}
+	if i != last {
+		s.queue[i] = s.queue[last]
+		s.queue[i].idx = i
+	}
+	s.queue[last] = nil
+	s.queue = s.queue[:last]
+	if i < last {
+		// The displaced node may need to move either way.
+		if !s.siftDown(i) {
+			s.siftUp(i)
+		}
+	}
+	s.release(nd)
+}
+
+func (s *Scheduler) siftUp(i int) {
+	q := s.queue
+	nd := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !nodeLess(nd, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].idx = i
+		i = parent
+	}
+	q[i] = nd
+	nd.idx = i
+}
+
+// siftDown restores the heap below i; it reports whether the node moved.
+func (s *Scheduler) siftDown(i int) bool {
+	q := s.queue
+	nd := q[i]
+	start := i
+	n := len(q)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && nodeLess(q[right], q[left]) {
+			child = right
+		}
+		if !nodeLess(q[child], nd) {
+			break
+		}
+		q[i] = q[child]
+		q[i].idx = i
+		i = child
+	}
+	q[i] = nd
+	nd.idx = i
+	return i != start
+}
+
 // Ticker repeatedly fires a handler at a fixed simulated interval.
 type Ticker struct {
 	s        *Scheduler
 	interval time.Duration
 	fn       Handler
-	pending  *Event
+	tick     Handler // cached self-rescheduling closure (one alloc per ticker)
+	pending  Event
 	stopped  bool
 	ticks    uint64
 }
 
 func (t *Ticker) schedule() {
-	t.pending = t.s.After(t.interval, func() {
-		if t.stopped {
-			return
+	if t.tick == nil {
+		t.tick = func() {
+			if t.stopped {
+				return
+			}
+			t.ticks++
+			t.fn()
+			if !t.stopped {
+				t.schedule()
+			}
 		}
-		t.ticks++
-		t.fn()
-		if !t.stopped {
-			t.schedule()
-		}
-	})
+	}
+	t.pending = t.s.After(t.interval, t.tick)
 }
 
 // Stop cancels all future ticks.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.pending != nil {
-		t.pending.Cancel()
-	}
+	t.pending.Cancel()
 }
 
 // Ticks reports how many times the ticker has fired.

@@ -46,9 +46,13 @@ func (dc *DatasetCollector) Tap() netsim.Tap {
 		if dc.detached {
 			return
 		}
-		if p, err := packet.Decode(t, raw); err == nil {
+		// Pooled decode: AddPacket copies the Basic features out by value,
+		// so the Packet never outlives the tap callback.
+		p := packet.Acquire()
+		if err := packet.DecodeInto(p, t, raw); err == nil {
 			dc.extractor.AddPacket(p)
 		}
+		p.Release()
 	}
 }
 
