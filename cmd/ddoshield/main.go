@@ -12,11 +12,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
 	"ddoshield/internal/pcap"
 	"ddoshield/internal/scenario"
+	"ddoshield/internal/telemetry"
 	"ddoshield/internal/testbed"
 )
 
@@ -41,6 +43,11 @@ func run() error {
 		outPcap   = flag.String("pcap", "", "write the raw capture here (pcap format)")
 		window    = flag.Duration("window", time.Second, "feature aggregation window")
 		config    = flag.String("config", "", "JSON scenario file (overrides topology/attack flags)")
+
+		metricsOut  = flag.String("metrics-out", "", "write a Prometheus-text metrics snapshot here at end of run")
+		metricsJSON = flag.String("metrics-json", "", "write a JSON metrics snapshot here at end of run")
+		traceOut    = flag.String("trace-out", "", "write the flight recorder as chrome://tracing JSON here")
+		listen      = flag.String("listen", "", "serve live /metrics, /metrics.json and /trace on this address (e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -95,6 +102,26 @@ func run() error {
 	}
 
 	ts := tb.NewThroughputSampler(time.Second)
+
+	// Live observability endpoint: the sim thread refreshes rendered
+	// snapshots once per simulated second; HTTP handlers only ever serve
+	// those cached bytes, so no handler touches simulation state.
+	var live *telemetry.LiveServer
+	if *listen != "" {
+		live = telemetry.NewLiveServer()
+		tb.Scheduler().Every(time.Second, func() {
+			live.Update(tb.Scheduler().Now(), tb.Registry(), tb.Recorder())
+		})
+		srv := &http.Server{Addr: *listen, Handler: live.Handler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "ddoshield: telemetry listener:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("telemetry: serving /metrics, /metrics.json, /trace on %s\n", *listen)
+	}
+
 	tb.Start()
 
 	if def == nil {
@@ -157,5 +184,41 @@ func run() error {
 	if *outPcap != "" {
 		fmt.Printf("capture written to %s\n", *outPcap)
 	}
+	if err := writeSnapshot(*metricsOut, "metrics", func(w *os.File) error {
+		return telemetry.WritePrometheus(w, tb.Registry())
+	}); err != nil {
+		return err
+	}
+	if err := writeSnapshot(*metricsJSON, "metrics JSON", func(w *os.File) error {
+		return telemetry.WriteJSON(w, tb.Scheduler().Now(), tb.Registry())
+	}); err != nil {
+		return err
+	}
+	if err := writeSnapshot(*traceOut, "trace", func(w *os.File) error {
+		return telemetry.WriteChromeTrace(w, tb.Recorder())
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeSnapshot renders one end-of-run telemetry artifact to path (no-op
+// when path is empty).
+func writeSnapshot(path, what string, render func(*os.File) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%s written to %s\n", what, path)
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"ddoshield/internal/netstack"
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry"
 )
 
 // State is a container lifecycle state.
@@ -196,6 +197,12 @@ func (c *Container) Crashes() uint64 { return c.crashes }
 // Supervisor returns the attached supervisor, or nil when unsupervised.
 func (c *Container) Supervisor() *Supervisor { return c.sup }
 
+// emit records a lifecycle trace event in the network's flight recorder
+// (a no-op when none is attached).
+func (c *Container) emit(event string, value int64) {
+	c.runtime.net.Recorder().Emit(c.runtime.net.Now(), telemetry.CatContainer, event, c.name, value)
+}
+
 // Start runs the hosted app. Starting a running container is a no-op. A
 // manual Start re-enables a supervisor that a manual Stop suspended.
 func (c *Container) Start() {
@@ -208,6 +215,7 @@ func (c *Container) Start() {
 	c.state = StateRunning
 	c.started = c.runtime.net.Now()
 	c.exitCrash = false
+	c.emit("start", int64(c.restarts))
 	c.link.SetUp(true)
 	if c.app != nil {
 		c.app.Start(c)
@@ -250,6 +258,11 @@ func (c *Container) halt(crash bool) {
 	c.state = StateStopped
 	c.stopped = c.runtime.net.Now()
 	c.exitCrash = crash
+	if crash {
+		c.emit("crash", int64(c.crashes+1))
+	} else {
+		c.emit("stop", 0)
+	}
 	if c.app != nil {
 		c.app.Stop()
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry"
 )
 
 // RestartPolicy decides whether a supervisor restarts an exited container —
@@ -166,6 +167,12 @@ func (s *Supervisor) cancelPending() {
 	s.pending = sim.Event{}
 }
 
+// emit records a supervision trace event in the network's flight recorder.
+func (s *Supervisor) emit(event string, value int64) {
+	net := s.c.runtime.net
+	net.Recorder().Emit(net.Now(), telemetry.CatSupervisor, event, s.c.name, value)
+}
+
 // noteExit handles a crash exit (Kill or unhealthy-kill).
 func (s *Supervisor) noteExit() {
 	if s.suspended || s.gaveUp || s.cfg.Policy == RestartNever {
@@ -202,6 +209,7 @@ func (s *Supervisor) scheduleRestart() {
 	}
 	if s.cfg.MaxRestarts > 0 && s.restarts >= s.cfg.MaxRestarts {
 		s.gaveUp = true
+		s.emit("gave-up", int64(s.restarts))
 		return
 	}
 	s.attempt++
@@ -227,6 +235,7 @@ func (s *Supervisor) scheduleRestart() {
 		s.c.Start()
 		s.restarting = false
 		s.restarts++
+		s.emit("restart", int64(s.restarts))
 		s.unhealthy = false
 		s.probeFails = 0
 		if s.cfg.OnRestart != nil {
@@ -253,6 +262,7 @@ func (s *Supervisor) probe() {
 	s.probeFails = 0
 	s.unhealthy = true
 	s.unhealthyEvents++
+	s.emit("unhealthy", int64(s.unhealthyEvents))
 	if s.cfg.Policy == RestartNever {
 		return
 	}

@@ -367,15 +367,19 @@ func (sc Scenario) RunRealTimeModels(models []TrainedModel) (*RealTimeResult, er
 	units := make([]liveUnit, 0, len(models))
 	for _, tm := range models {
 		u := ids.New(ids.Config{
-			Model:   tm.Model,
-			Scaler:  tm.Scaler,
-			Window:  sc.Window,
-			Labeler: tb.Labeler(),
-			Meter:   tb.IDSContainer(),
+			Model:    tm.Model,
+			Scaler:   tm.Scaler,
+			Window:   sc.Window,
+			Labeler:  tb.Labeler(),
+			Meter:    tb.IDSContainer(),
+			Name:     tm.Model.Name(),
+			Registry: tb.Registry(),
+			Recorder: tb.Recorder(),
 		})
 		tb.AddTap(u.Tap())
 		mon := sysmon.NewMonitor(u, sc.Window)
 		mon.Start(tb.Scheduler())
+		mon.Publish(tb.Registry(), tm.Model.Name(), sc.SpeedFactor)
 		units = append(units, liveUnit{name: tm.Model.Name(), unit: u, mon: mon, size: tm.SizeBytes})
 	}
 	sc.scheduleAttacks(tb, lead+sc.DetectWarmup, lead+sc.DetectDuration, sc.DetectPPS)

@@ -43,6 +43,12 @@ const (
 	CrashLoop Kind = "crash-loop"
 )
 
+// Kinds lists every fault kind, in a fixed order, for exhaustive
+// enumeration (e.g. registering one injection counter per kind).
+func Kinds() []Kind {
+	return []Kind{LinkFlap, LinkImpair, Partition, Crash, CrashLoop}
+}
+
 // Event is one timeline entry of a fault plan.
 type Event struct {
 	// At is the injection instant, relative to Injector.Schedule.

@@ -9,6 +9,7 @@ import (
 	"ddoshield/internal/container"
 	"ddoshield/internal/netsim"
 	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry"
 )
 
 // Target is one fault-injectable endpoint: a container and/or its uplink.
@@ -29,6 +30,7 @@ type Injector struct {
 	targets  []Target
 	byName   map[string]int
 	counters map[Kind]uint64
+	rec      *telemetry.Recorder
 }
 
 // NewInjector builds an injector. sw may be nil when partitions are unused.
@@ -122,7 +124,25 @@ func (in *Injector) apply(e Event) {
 	}
 }
 
-func (in *Injector) count(k Kind) { in.counters[k]++ }
+// SetTelemetry exposes the per-kind injection counters as registry metrics
+// (faults_injections_total{kind=...}, evaluated at export time) and routes
+// a trace event per injection into the flight recorder. Either argument
+// may be nil.
+func (in *Injector) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder) {
+	in.rec = rec
+	for _, k := range Kinds() {
+		k := k
+		reg.RegisterCounterFunc(func() uint64 { return in.counters[k] },
+			"faults_injections_total", telemetry.L("kind", string(k)))
+	}
+}
+
+// count tallies one injection of kind k against actor and mirrors it into
+// the flight recorder.
+func (in *Injector) count(k Kind, actor string) {
+	in.counters[k]++
+	in.rec.Emit(in.sched.Now(), telemetry.CatFault, string(k), actor, int64(in.counters[k]))
+}
 
 func (in *Injector) applyLinkFlap(e Event) {
 	d := e.Duration
@@ -134,7 +154,7 @@ func (in *Injector) applyLinkFlap(e Event) {
 			continue
 		}
 		tg.Link.SetUp(false)
-		in.count(LinkFlap)
+		in.count(LinkFlap, tg.Name)
 		link, c := tg.Link, tg.Container
 		in.sched.After(d, func() {
 			// Do not re-cable a container that stopped in the meantime;
@@ -158,7 +178,7 @@ func (in *Injector) applyLinkImpair(e Event) {
 		}
 		prev := tg.Link.Impairments()
 		tg.Link.SetImpairments(imp)
-		in.count(LinkImpair)
+		in.count(LinkImpair, tg.Name)
 		if e.Duration > 0 {
 			link := tg.Link
 			in.sched.After(e.Duration, func() { link.SetImpairments(prev) })
@@ -186,7 +206,7 @@ func (in *Injector) applyPartition(e Event) {
 	if !assigned {
 		return
 	}
-	in.count(Partition)
+	in.count(Partition, in.sw.Name())
 	d := e.Duration
 	if d <= 0 {
 		d = 10 * time.Second
@@ -222,7 +242,7 @@ func (in *Injector) kill(tg Target) {
 		return
 	}
 	tg.Container.Kill()
-	in.count(Crash)
+	in.count(Crash, tg.Name)
 }
 
 // Counter is one per-kind injection count.

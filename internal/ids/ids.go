@@ -18,6 +18,7 @@ import (
 	"ddoshield/internal/netsim"
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry"
 )
 
 // Labeler is the ground-truth oracle: it maps a packet to dataset.Benign
@@ -48,6 +49,14 @@ type Config struct {
 	// OnWindow, when set, receives every closed window's result as soon as
 	// it is scored — the hook automated responses (mitigation) attach to.
 	OnWindow func(r *WindowResult)
+	// Name labels this unit's telemetry (default "ids").
+	Name string
+	// Registry, when set, exposes packet/window/alert counters and a
+	// per-window CPU histogram under ids_* metric names.
+	Registry *telemetry.Registry
+	// Recorder, when set, receives one trace event per closed window,
+	// stamped with the window's opening instant.
+	Recorder *telemetry.Recorder
 }
 
 // WindowResult is the detection outcome for one closed window.
@@ -84,13 +93,26 @@ type Unit struct {
 	peakMem  int64
 	vecBuf   []float64
 	packets  uint64
+	alerts   uint64
 	detached bool
+	winCPU   *telemetry.Histogram
 }
+
+// windowCPUBounds buckets per-window processing cost in microseconds.
+var windowCPUBounds = []float64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
 
 // New assembles a unit.
 func New(cfg Config) *Unit {
+	if cfg.Name == "" {
+		cfg.Name = "ids"
+	}
 	u := &Unit{cfg: cfg}
 	u.extractor = features.NewExtractor(cfg.Window, u.onWindow)
+	unit := telemetry.L("unit", cfg.Name)
+	cfg.Registry.RegisterCounterFunc(func() uint64 { return u.packets }, "ids_packets_total", unit)
+	cfg.Registry.RegisterCounterFunc(func() uint64 { return uint64(len(u.results)) }, "ids_windows_total", unit)
+	cfg.Registry.RegisterCounterFunc(func() uint64 { return u.alerts }, "ids_alerts_total", unit)
+	u.winCPU = cfg.Registry.NewHistogram("ids_window_cpu_us", windowCPUBounds, unit)
 	return u
 }
 
@@ -187,6 +209,13 @@ func (u *Unit) onWindow(w *features.Window) {
 	}
 	res.CPU = time.Since(start)
 	u.addCPU(res.CPU)
+	u.winCPU.Observe(float64(res.CPU) / float64(time.Microsecond))
+	verdict := "clear"
+	if res.Alert {
+		u.alerts++
+		verdict = "alert"
+	}
+	u.cfg.Recorder.Emit(w.Start, telemetry.CatIDS, verdict, u.cfg.Name, int64(res.PredMalicious))
 	u.results = append(u.results, res)
 	if u.cfg.OnWindow != nil {
 		u.cfg.OnWindow(&u.results[len(u.results)-1])

@@ -13,6 +13,7 @@ import (
 
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry"
 )
 
 // Port is anything that can terminate a link: a host NIC or a switch port.
@@ -31,11 +32,17 @@ type Tap func(t sim.Time, raw []byte)
 // Network owns the simulated topology: the scheduler, every node, link and
 // switch, and the MAC address allocator.
 type Network struct {
-	sched   *sim.Scheduler
-	nodes   []*Node
-	links   []*Link
-	macSeq  uint64
-	nameSet map[string]bool
+	sched    *sim.Scheduler
+	nodes    []*Node
+	links    []*Link
+	switches []*Switch
+	macSeq   uint64
+	nameSet  map[string]bool
+
+	// reg/rec are the attached telemetry plane (both may be nil: every
+	// instrument works standalone and Recorder.Emit is nil-safe).
+	reg *telemetry.Registry
+	rec *telemetry.Recorder
 }
 
 // New creates an empty network driven by sched.
@@ -48,6 +55,79 @@ func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 
 // Now reports the current simulated time.
 func (n *Network) Now() sim.Time { return n.sched.Now() }
+
+// SetTelemetry attaches a metrics registry and flight recorder. Every
+// existing NIC, link and switch registers its counters immediately;
+// topology created afterwards registers at creation. The counters are the
+// same ones Stats()/Counters() read — the registry observes them by
+// reference, so exports and the legacy accessors can never disagree.
+// Either argument may be nil.
+func (n *Network) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder) {
+	n.reg = reg
+	n.rec = rec
+	for _, node := range n.nodes {
+		for _, nic := range node.nics {
+			n.registerNIC(nic)
+		}
+	}
+	for _, l := range n.links {
+		n.registerLink(l)
+	}
+	for _, s := range n.switches {
+		n.registerSwitch(s)
+	}
+}
+
+// Recorder exposes the attached flight recorder (nil when unattached);
+// higher layers (netstack, container) emit through it.
+func (n *Network) Recorder() *telemetry.Recorder { return n.rec }
+
+// Registry exposes the attached metrics registry (nil when unattached).
+func (n *Network) Registry() *telemetry.Registry { return n.reg }
+
+func (n *Network) registerNIC(c *NIC) {
+	if n.reg == nil {
+		return
+	}
+	l := telemetry.L("nic", c.name)
+	n.reg.RegisterCounter(&c.rxFrames, "netsim_nic_rx_frames_total", l)
+	n.reg.RegisterCounter(&c.rxBytes, "netsim_nic_rx_bytes_total", l)
+	n.reg.RegisterCounter(&c.txFrames, "netsim_nic_tx_frames_total", l)
+	n.reg.RegisterCounter(&c.txBytes, "netsim_nic_tx_bytes_total", l)
+	n.reg.RegisterCounter(&c.ingressDropped, "netsim_nic_ingress_dropped_total", l)
+}
+
+func (n *Network) registerLink(l *Link) {
+	if n.reg == nil {
+		return
+	}
+	for _, d := range l.dirs {
+		lb := telemetry.L("dir", d.name)
+		n.reg.RegisterCounter(&d.txFrames, "netsim_link_tx_frames_total", lb)
+		n.reg.RegisterCounter(&d.txBytes, "netsim_link_tx_bytes_total", lb)
+		n.reg.RegisterCounter(&d.dropFrames, "netsim_link_queue_drops_total", lb)
+		n.reg.RegisterCounter(&d.lossFrames, "netsim_link_loss_frames_total", lb)
+		n.reg.RegisterCounter(&d.corruptFrames, "netsim_link_corrupt_frames_total", lb)
+		n.reg.RegisterCounter(&d.dupFrames, "netsim_link_dup_frames_total", lb)
+		n.reg.RegisterCounter(&d.reorderFrames, "netsim_link_reorder_frames_total", lb)
+		n.reg.RegisterCounter(&d.inflightDrops, "netsim_link_inflight_drops_total", lb)
+	}
+}
+
+func (n *Network) registerSwitch(s *Switch) {
+	if n.reg == nil {
+		return
+	}
+	l := telemetry.L("switch", s.name)
+	n.reg.RegisterCounter(&s.forwarded, "netsim_switch_forwarded_total", l)
+	n.reg.RegisterCounter(&s.flooded, "netsim_switch_flooded_total", l)
+	n.reg.RegisterCounter(&s.partitionDrops, "netsim_switch_partition_drops_total", l)
+}
+
+// emit records a flight-recorder event at the current simulated instant.
+func (n *Network) emit(cat telemetry.Category, name, actor string, value int64) {
+	n.rec.Emit(n.sched.Now(), cat, name, actor, value)
+}
 
 // NewNode adds a named host node. Names must be unique.
 func (n *Network) NewNode(name string) *Node {
@@ -89,7 +169,9 @@ func (nd *Node) Network() *Network { return nd.net }
 // AddNIC attaches a new NIC to the node.
 func (nd *Node) AddNIC() *NIC {
 	nic := &NIC{node: nd, mac: nd.net.nextMAC(), index: len(nd.nics)}
+	nic.name = fmt.Sprintf("%s/eth%d", nd.name, nic.index)
 	nd.nics = append(nd.nics, nic)
+	nd.net.registerNIC(nic)
 	return nic
 }
 
@@ -113,6 +195,7 @@ type NIC struct {
 	node    *Node
 	mac     packet.MAC
 	index   int
+	name    string // "node/ethN", precomputed for alloc-free diagnostics
 	link    *Link
 	side    int // 0 or 1: which end of the link this NIC terminates
 	handler func(raw []byte)
@@ -120,11 +203,14 @@ type NIC struct {
 	// returning false drops it (the firewall hook).
 	ingress func(raw []byte) bool
 
-	rxFrames       uint64
-	rxBytes        uint64
-	txFrames       uint64
-	txBytes        uint64
-	ingressDropped uint64
+	// Shared telemetry counters: the registry exports these same
+	// instances, and Stats()/IngressDropped() are thin value adapters, so
+	// there is exactly one source of truth per count.
+	rxFrames       telemetry.Counter
+	rxBytes        telemetry.Counter
+	txFrames       telemetry.Counter
+	txBytes        telemetry.Counter
+	ingressDropped telemetry.Counter
 }
 
 var _ Port = (*NIC)(nil)
@@ -147,23 +233,24 @@ func (c *NIC) Send(raw []byte) {
 	if c.link == nil {
 		return
 	}
-	c.txFrames++
-	c.txBytes += uint64(len(raw))
+	c.txFrames.Inc()
+	c.txBytes.Add(uint64(len(raw)))
 	c.link.send(c.side, raw)
 }
 
 // Stats reports cumulative frame/byte counters (rx then tx).
 func (c *NIC) Stats() (rxFrames, rxBytes, txFrames, txBytes uint64) {
-	return c.rxFrames, c.rxBytes, c.txFrames, c.txBytes
+	return c.rxFrames.Value(), c.rxBytes.Value(), c.txFrames.Value(), c.txBytes.Value()
 }
 
 func (c *NIC) receive(raw []byte) {
 	if c.ingress != nil && !c.ingress(raw) {
-		c.ingressDropped++
+		c.ingressDropped.Inc()
+		c.node.net.emit(telemetry.CatNet, "ingress-drop", c.name, int64(len(raw)))
 		return
 	}
-	c.rxFrames++
-	c.rxBytes += uint64(len(raw))
+	c.rxFrames.Inc()
+	c.rxBytes.Add(uint64(len(raw)))
 	if c.handler != nil {
 		c.handler(raw)
 	}
@@ -175,10 +262,10 @@ func (c *NIC) receive(raw []byte) {
 func (c *NIC) SetIngressFilter(fn func(raw []byte) bool) { c.ingress = fn }
 
 // IngressDropped reports frames discarded by the ingress filter.
-func (c *NIC) IngressDropped() uint64 { return c.ingressDropped }
+func (c *NIC) IngressDropped() uint64 { return c.ingressDropped.Value() }
 
 // String identifies the NIC as "node/ethN".
-func (c *NIC) String() string { return fmt.Sprintf("%s/eth%d", c.node.name, c.index) }
+func (c *NIC) String() string { return c.name }
 
 // LinkConfig sets the physical properties of a duplex link.
 type LinkConfig struct {
@@ -278,29 +365,34 @@ type Link struct {
 }
 
 type direction struct {
-	link          *Link
-	from          int
-	queue         [][]byte
-	queued        int // bytes waiting (excluding the frame in transmission)
-	busy          bool
-	txFrames      uint64
-	txBytes       uint64
-	dropFrames    uint64
-	lossFrames    uint64
-	corruptFrames uint64
-	dupFrames     uint64
-	reorderFrames uint64
-	inflightDrops uint64
+	link   *Link
+	from   int
+	name   string // "src->dst" port pair, precomputed for labels/events
+	queue  [][]byte
+	queued int // bytes waiting (excluding the frame in transmission)
+	busy   bool
+
+	// Shared telemetry counters; Counters() aggregates the two
+	// directions' values into the legacy LinkStats view.
+	txFrames      telemetry.Counter
+	txBytes       telemetry.Counter
+	dropFrames    telemetry.Counter
+	lossFrames    telemetry.Counter
+	corruptFrames telemetry.Counter
+	dupFrames     telemetry.Counter
+	reorderFrames telemetry.Counter
+	inflightDrops telemetry.Counter
 }
 
 // Connect wires two ports with a duplex link.
 func (n *Network) Connect(a, b Port, cfg LinkConfig) *Link {
 	l := &Link{net: n, cfg: cfg.withDefaults(), ends: [2]Port{a, b}, up: true}
-	l.dirs[0] = &direction{link: l, from: 0}
-	l.dirs[1] = &direction{link: l, from: 1}
+	l.dirs[0] = &direction{link: l, from: 0, name: a.String() + "->" + b.String()}
+	l.dirs[1] = &direction{link: l, from: 1, name: b.String() + "->" + a.String()}
 	bindPort(a, l, 0)
 	bindPort(b, l, 1)
 	n.links = append(n.links, l)
+	n.registerLink(l)
 	return l
 }
 
@@ -345,18 +437,20 @@ func (l *Link) Stats() (txFrames, txBytes, drops uint64) {
 	return s.TxFrames, s.TxBytes, s.Drops()
 }
 
-// Counters aggregates both directions' full counter set.
+// Counters aggregates both directions' full counter set. The values come
+// from the same shared telemetry counters the registry exports, so the
+// legacy view and /metrics can never diverge.
 func (l *Link) Counters() LinkStats {
 	var s LinkStats
 	for _, d := range l.dirs {
-		s.TxFrames += d.txFrames
-		s.TxBytes += d.txBytes
-		s.QueueDrops += d.dropFrames
-		s.LossFrames += d.lossFrames
-		s.CorruptFrames += d.corruptFrames
-		s.DupFrames += d.dupFrames
-		s.ReorderFrames += d.reorderFrames
-		s.InFlightDrops += d.inflightDrops
+		s.TxFrames += d.txFrames.Value()
+		s.TxBytes += d.txBytes.Value()
+		s.QueueDrops += d.dropFrames.Value()
+		s.LossFrames += d.lossFrames.Value()
+		s.CorruptFrames += d.corruptFrames.Value()
+		s.DupFrames += d.dupFrames.Value()
+		s.ReorderFrames += d.reorderFrames.Value()
+		s.InFlightDrops += d.inflightDrops.Value()
 	}
 	return s
 }
@@ -367,14 +461,16 @@ func (l *Link) serializationTime(n int) sim.Time {
 }
 
 func (l *Link) send(from int, raw []byte) {
+	d := l.dirs[from]
 	if !l.up {
-		l.dirs[from].dropFrames++
+		d.dropFrames.Inc()
+		l.net.emit(telemetry.CatNet, "queue-drop", d.name, int64(len(raw)))
 		return
 	}
-	d := l.dirs[from]
 	if d.busy {
 		if d.queued+len(raw) > l.cfg.QueueBytes {
-			d.dropFrames++ // drop-tail: queue full
+			d.dropFrames.Inc() // drop-tail: queue full
+			l.net.emit(telemetry.CatNet, "queue-drop", d.name, int64(len(raw)))
 			return
 		}
 		d.queue = append(d.queue, raw)
@@ -391,8 +487,8 @@ func (d *direction) transmit(raw []byte) {
 	sched := l.net.sched
 	// Transmitter frees after serialization; frame lands after propagation.
 	sched.At(sched.Now()+ser, func() {
-		d.txFrames++
-		d.txBytes += uint64(len(raw))
+		d.txFrames.Inc()
+		d.txBytes.Add(uint64(len(raw)))
 		if len(d.queue) > 0 {
 			next := d.queue[0]
 			d.queue = d.queue[1:]
@@ -403,23 +499,27 @@ func (d *direction) transmit(raw []byte) {
 		}
 	})
 	if l.cfg.LossProb > 0 && l.cfg.RNG != nil && l.cfg.RNG.Bool(l.cfg.LossProb) {
-		d.lossFrames++
+		d.lossFrames.Inc()
+		l.net.emit(telemetry.CatNet, "loss", d.name, int64(len(raw)))
 		return
 	}
 	arrive := sched.Now() + ser + l.cfg.Delay
 	dup := false
 	if im := l.imp; im.RNG != nil && im.Active() {
 		if im.LossProb > 0 && im.RNG.Bool(im.LossProb) {
-			d.lossFrames++
+			d.lossFrames.Inc()
+			l.net.emit(telemetry.CatNet, "loss", d.name, int64(len(raw)))
 			return
 		}
 		if im.CorruptProb > 0 && im.RNG.Bool(im.CorruptProb) {
 			raw = corruptedCopy(raw, im.RNG)
-			d.corruptFrames++
+			d.corruptFrames.Inc()
+			l.net.emit(telemetry.CatNet, "corrupt", d.name, int64(len(raw)))
 		}
 		if im.DupProb > 0 && im.RNG.Bool(im.DupProb) {
 			dup = true
-			d.dupFrames++
+			d.dupFrames.Inc()
+			l.net.emit(telemetry.CatNet, "dup", d.name, int64(len(raw)))
 		}
 		if im.ReorderProb > 0 && im.RNG.Bool(im.ReorderProb) {
 			extra := im.ReorderDelay
@@ -427,7 +527,8 @@ func (d *direction) transmit(raw []byte) {
 				extra = 4 * l.cfg.Delay
 			}
 			arrive += extra
-			d.reorderFrames++
+			d.reorderFrames.Inc()
+			l.net.emit(telemetry.CatNet, "reorder", d.name, int64(len(raw)))
 		}
 	}
 	d.scheduleArrival(arrive, raw)
@@ -442,7 +543,8 @@ func (d *direction) scheduleArrival(at sim.Time, raw []byte) {
 	to := l.ends[1-d.from]
 	sched.At(at, func() {
 		if !l.up {
-			d.inflightDrops++
+			d.inflightDrops.Inc()
+			l.net.emit(telemetry.CatNet, "inflight-drop", d.name, int64(len(raw)))
 			return
 		}
 		for _, tap := range l.taps {

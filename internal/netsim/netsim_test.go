@@ -326,7 +326,7 @@ func TestLinkConservationProperty(t *testing.T) {
 		}
 		s.Drain()
 		tx, _, drops := a.link.Stats()
-		return uint64(delivered) == tx-a.link.dirs[0].lossFrames &&
+		return uint64(delivered) == tx-a.link.dirs[0].lossFrames.Value() &&
 			uint64(delivered)+drops == uint64(len(sizes))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry"
 )
 
 // Switch is a learning Ethernet switch: the CSMA segment that joins the
@@ -17,14 +18,18 @@ type Switch struct {
 	table map[packet.MAC]*switchPort
 	taps  []Tap
 
-	forwarded      uint64
-	flooded        uint64
-	partitionDrops uint64
+	// Shared telemetry counters; Stats()/PartitionDrops() are adapters.
+	forwarded      telemetry.Counter
+	flooded        telemetry.Counter
+	partitionDrops telemetry.Counter
 }
 
 // NewSwitch adds a named learning switch to the network.
 func (n *Network) NewSwitch(name string) *Switch {
-	return &Switch{net: n, name: name, table: make(map[packet.MAC]*switchPort)}
+	s := &Switch{net: n, name: name, table: make(map[packet.MAC]*switchPort)}
+	n.switches = append(n.switches, s)
+	n.registerSwitch(s)
+	return s
 }
 
 // Name returns the switch name.
@@ -33,6 +38,7 @@ func (s *Switch) Name() string { return s.name }
 // NewPort adds a port to the switch; wire it with Network.Connect.
 func (s *Switch) NewPort() Port {
 	p := &switchPort{sw: s, index: len(s.ports)}
+	p.name = fmt.Sprintf("%s/port%d", s.name, p.index)
 	s.ports = append(s.ports, p)
 	return p
 }
@@ -43,7 +49,9 @@ func (s *Switch) NewPort() Port {
 func (s *Switch) AddTap(t Tap) { s.taps = append(s.taps, t) }
 
 // Stats reports frames forwarded to a learned port and frames flooded.
-func (s *Switch) Stats() (forwarded, flooded uint64) { return s.forwarded, s.flooded }
+func (s *Switch) Stats() (forwarded, flooded uint64) {
+	return s.forwarded.Value(), s.flooded.Value()
+}
 
 // Forget clears the MAC learning table (e.g. after heavy churn).
 func (s *Switch) Forget() { s.table = make(map[packet.MAC]*switchPort) }
@@ -77,11 +85,12 @@ func (s *Switch) ClearGroups() {
 }
 
 // PartitionDrops reports frames discarded at a partition boundary.
-func (s *Switch) PartitionDrops() uint64 { return s.partitionDrops }
+func (s *Switch) PartitionDrops() uint64 { return s.partitionDrops.Value() }
 
 type switchPort struct {
 	sw    *Switch
 	index int
+	name  string // "switch/portN", precomputed
 	link  *Link
 	side  int
 	group int
@@ -89,7 +98,7 @@ type switchPort struct {
 
 var _ Port = (*switchPort)(nil)
 
-func (p *switchPort) String() string { return fmt.Sprintf("%s/port%d", p.sw.name, p.index) }
+func (p *switchPort) String() string { return p.name }
 
 func (p *switchPort) send(raw []byte) {
 	if p.link != nil {
@@ -113,17 +122,18 @@ func (p *switchPort) receive(raw []byte) {
 		if out, ok := s.table[eth.Dst]; ok {
 			if out != p {
 				if out.group != p.group {
-					s.partitionDrops++
+					s.partitionDrops.Inc()
+					s.net.emit(telemetry.CatNet, "partition-drop", p.name, int64(len(raw)))
 					return
 				}
-				s.forwarded++
+				s.forwarded.Inc()
 				out.send(raw)
 			}
 			return
 		}
 	}
 	// Broadcast or unknown unicast: flood all other ports in the group.
-	s.flooded++
+	s.flooded.Inc()
 	for _, out := range s.ports {
 		if out != p && out.group == p.group {
 			out.send(raw)

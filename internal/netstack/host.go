@@ -15,6 +15,7 @@ import (
 	"ddoshield/internal/netsim"
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry"
 )
 
 // HostConfig configures a host's single-homed IPv4 stack.
@@ -49,6 +50,7 @@ type Host struct {
 	sched *sim.Scheduler
 	cfg   HostConfig
 	rng   *sim.RNG
+	name  string // cached Addr string so trace emits stay alloc-free
 
 	arp       map[packet.Addr]*arpEntry
 	udpSocks  map[uint16]*UDPSocket
@@ -78,6 +80,7 @@ func NewHost(nic *netsim.NIC, cfg HostConfig) *Host {
 		nic:       nic,
 		sched:     nic.Node().Network().Scheduler(),
 		cfg:       cfg,
+		name:      cfg.Addr.String(),
 		rng:       sim.Substream(cfg.Seed, "netstack/"+cfg.Addr.String()),
 		arp:       make(map[packet.Addr]*arpEntry),
 		udpSocks:  make(map[uint16]*UDPSocket),
@@ -87,6 +90,14 @@ func NewHost(nic *netsim.NIC, cfg HostConfig) *Host {
 	}
 	nic.SetHandler(h.receive)
 	return h
+}
+
+// emitTCP records a transport-layer trace event in the network's flight
+// recorder (a no-op when no recorder is attached). The recorder is looked
+// up per call so instrumentation attached after NewHost still takes
+// effect; the chain is a few pointer loads and allocation-free.
+func (h *Host) emitTCP(name string, value int64) {
+	h.nic.Node().Network().Recorder().Emit(h.sched.Now(), telemetry.CatTCP, name, h.name, value)
 }
 
 // Addr reports the host's IPv4 address.

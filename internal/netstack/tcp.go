@@ -370,6 +370,7 @@ func (c *Conn) onRetransmitTimeout() {
 		return
 	}
 	c.retransmits++
+	c.host.emitTCP("retransmit", int64(c.retries))
 	c.rto *= 2
 	switch c.state {
 	case StateSynSent:
@@ -468,6 +469,7 @@ func (l *Listener) handleSYN(key connKey, tcp packet.TCP) {
 	}
 	if len(l.halfDM) >= l.backlog {
 		l.synDropped++ // SYN-flood pressure: silently drop
+		l.host.emitTCP("syn-drop", int64(l.port))
 		return
 	}
 	h := l.host

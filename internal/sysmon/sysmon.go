@@ -17,6 +17,7 @@ import (
 
 	"ddoshield/internal/ml/metrics"
 	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry"
 )
 
 // Metered is anything whose cumulative compute time and current memory can
@@ -96,6 +97,25 @@ func (m *Monitor) Samples() []Sample {
 	out := make([]Sample, len(m.samples))
 	copy(out, m.samples)
 	return out
+}
+
+// Publish registers the monitor's Table II aggregates as live registry
+// gauges (sysmon_cpu_percent, sysmon_mem_kb, sysmon_mem_peak_kb,
+// sysmon_availability_pct, sysmon_intervals), labeled target=name. The
+// gauges are evaluated at export time straight through Report(), so a
+// registry snapshot and a Report(speedFactor) call can never disagree.
+func (m *Monitor) Publish(reg *telemetry.Registry, name string, speedFactor float64) {
+	target := telemetry.L("target", name)
+	reg.RegisterGaugeFunc(func() float64 { return m.Report(speedFactor).CPUPercent },
+		"sysmon_cpu_percent", target)
+	reg.RegisterGaugeFunc(func() float64 { return m.Report(speedFactor).MeanMemKb },
+		"sysmon_mem_kb", target)
+	reg.RegisterGaugeFunc(func() float64 { return m.Report(speedFactor).PeakMemKb },
+		"sysmon_mem_peak_kb", target)
+	reg.RegisterGaugeFunc(func() float64 { return m.Report(speedFactor).AvailabilityPct },
+		"sysmon_availability_pct", target)
+	reg.RegisterGaugeFunc(func() float64 { return float64(len(m.samples)) },
+		"sysmon_intervals", target)
 }
 
 // Report aggregates a monitor's samples into Table II's three columns.

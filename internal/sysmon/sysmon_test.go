@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry"
 )
 
 // fakeTarget is a scriptable Metered.
@@ -164,5 +165,72 @@ func TestEnergyJoules(t *testing.T) {
 	}
 	if m.EnergyJoules(0) != 0 {
 		t.Fatal("zero watts should cost nothing")
+	}
+}
+
+// upDownTarget is a fakeTarget with an up/down state.
+type upDownTarget struct {
+	fakeTarget
+	up bool
+}
+
+func (u *upDownTarget) Running() bool { return u.up }
+
+// TestPublishAgreesWithReport is the satellite guard: the registry gauges
+// Publish installs must report float-for-float exactly what Report()
+// computes from the same samples, including the availability column.
+func TestPublishAgreesWithReport(t *testing.T) {
+	s := sim.NewScheduler()
+	target := &upDownTarget{up: true}
+	m := NewMonitor(target, time.Second)
+	tk := s.Every(time.Second, func() {
+		target.cpu += 137 * time.Millisecond // awkward share: exercises float math
+		target.mem += 33_333
+	})
+	defer tk.Stop()
+	m.Start(s)
+	reg := telemetry.NewRegistry()
+	const speedFactor = 7.5
+	m.Publish(reg, "ids-lr", speedFactor)
+	if err := s.Run(6 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	target.up = false
+	if err := s.Run(9 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	m.Stop()
+
+	want := m.Report(speedFactor)
+	got := map[string]float64{}
+	for _, snap := range reg.Snapshot() {
+		if snap.Labels == `{target="ids-lr"}` {
+			got[snap.Name] = snap.Value
+		}
+	}
+	checks := []struct {
+		metric string
+		want   float64
+	}{
+		{"sysmon_cpu_percent", want.CPUPercent},
+		{"sysmon_mem_kb", want.MeanMemKb},
+		{"sysmon_mem_peak_kb", want.PeakMemKb},
+		{"sysmon_availability_pct", want.AvailabilityPct},
+		{"sysmon_intervals", float64(want.Intervals)},
+	}
+	for _, c := range checks {
+		v, ok := got[c.metric]
+		if !ok {
+			t.Fatalf("gauge %s not published", c.metric)
+		}
+		if v != c.want {
+			t.Errorf("%s = %v, Report says %v", c.metric, v, c.want)
+		}
+	}
+	if want.AvailabilityPct == 100 || want.AvailabilityPct == 0 {
+		t.Fatalf("scenario should mix up and down samples, got %v%%", want.AvailabilityPct)
+	}
+	if want.CPUPercent == 0 {
+		t.Fatal("scenario should burn CPU")
 	}
 }

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"ddoshield/internal/sim"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (one # TYPE line per metric name, then the samples). Output is
+// deterministic: metrics sort by name, then label string.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	lastName := ""
+	for _, s := range r.Snapshot() {
+		if s.Name != lastName {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", s.Name, s.Kind)
+			lastName = s.Name
+		}
+		switch s.Kind {
+		case KindHistogram:
+			cum := uint64(0)
+			for i, b := range s.Buckets {
+				cum += s.BucketCounts[i]
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", s.Name, mergeLabel(s.Labels, "le", formatBound(b)), cum)
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", s.Name, s.Labels, formatFloat(s.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", s.Name, s.Labels, s.Count)
+		default:
+			fmt.Fprintf(bw, "%s%s %s\n", s.Name, s.Labels, formatFloat(s.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+// mergeLabel inserts one extra label pair into a rendered label string.
+func mergeLabel(labels, key, value string) string {
+	pair := key + `="` + escapeLabelValue(value) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return formatFloat(b)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonMetric is the machine-readable snapshot row.
+type jsonMetric struct {
+	Name         string    `json:"name"`
+	Labels       string    `json:"labels,omitempty"`
+	Type         string    `json:"type"`
+	Value        *float64  `json:"value,omitempty"`
+	Buckets      []float64 `json:"buckets,omitempty"`
+	BucketCounts []uint64  `json:"bucket_counts,omitempty"`
+	Sum          *float64  `json:"sum,omitempty"`
+	Count        *uint64   `json:"count,omitempty"`
+}
+
+type jsonSnapshot struct {
+	SimNowNs int64        `json:"sim_now_ns"`
+	Metrics  []jsonMetric `json:"metrics"`
+}
+
+// WriteJSON renders a machine-readable snapshot of the registry at the
+// given simulated instant — the format EXPERIMENTS.md regenerates figures
+// from. Deterministic for a deterministic registry.
+func WriteJSON(w io.Writer, now sim.Time, r *Registry) error {
+	snap := jsonSnapshot{SimNowNs: int64(now)}
+	for _, s := range r.Snapshot() {
+		m := jsonMetric{Name: s.Name, Labels: s.Labels, Type: s.Kind.String()}
+		if s.Kind == KindHistogram {
+			buckets := make([]float64, len(s.Buckets))
+			copy(buckets, s.Buckets)
+			if n := len(buckets); n > 0 && math.IsInf(buckets[n-1], 1) {
+				buckets[n-1] = math.MaxFloat64 // JSON cannot carry +Inf
+			}
+			m.Buckets = buckets
+			m.BucketCounts = s.BucketCounts
+			sum, count := s.Sum, s.Count
+			m.Sum, m.Count = &sum, &count
+		} else {
+			v := s.Value
+			m.Value = &v
+		}
+		snap.Metrics = append(snap.Metrics, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// chromeEvent is one entry of the chrome://tracing "Trace Event Format":
+// an instant event ("ph":"i") with microsecond timestamps on the virtual
+// clock. Load the output in chrome://tracing or https://ui.perfetto.dev.
+type chromeEvent struct {
+	Name  string     `json:"name"`
+	Cat   string     `json:"cat"`
+	Phase string     `json:"ph"`
+	TS    float64    `json:"ts"` // microseconds
+	PID   int        `json:"pid"`
+	TID   int        `json:"tid"`
+	Scope string     `json:"s"`
+	Args  chromeArgs `json:"args"`
+}
+
+type chromeArgs struct {
+	Actor string `json:"actor,omitempty"`
+	Value int64  `json:"value"`
+	Seq   uint64 `json:"seq"`
+}
+
+// WriteChromeTrace renders the recorder's retained events as a
+// chrome://tracing-compatible JSON array, oldest first. The category
+// becomes the trace "cat" (filterable in the UI) and every category gets
+// its own tid so the viewer lays subsystems out as separate rows.
+func WriteChromeTrace(w io.Writer, r *Recorder) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	for i, ev := range r.Events() {
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		ce := chromeEvent{
+			Name:  ev.Name,
+			Cat:   ev.Cat.String(),
+			Phase: "i",
+			TS:    float64(ev.Time) / 1e3,
+			PID:   1,
+			TID:   int(ev.Cat),
+			Scope: "g",
+			Args:  chromeArgs{Actor: ev.Actor, Value: ev.Value, Seq: ev.Seq},
+		}
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		bw.Write(b)
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

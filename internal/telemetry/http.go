@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+
+	"ddoshield/internal/sim"
+)
+
+// LiveServer exposes /metrics (Prometheus text), /metrics.json (JSON
+// snapshot) and /trace (chrome-tracing JSON) over HTTP for watching a
+// live run.
+//
+// The simulation world is single-threaded and many registered gauge
+// functions read simulator state, so HTTP handlers must never touch the
+// registry directly from the server goroutine. Instead the simulation
+// thread calls Update at whatever cadence it likes (cmd/ddoshield ticks
+// once per simulated second); Update renders everything into byte
+// buffers, and handlers serve the latest snapshot under a read lock.
+// This keeps live export race-free without slowing the hot path.
+type LiveServer struct {
+	mu      sync.RWMutex
+	prom    []byte
+	json    []byte
+	trace   []byte
+	updates uint64
+}
+
+// NewLiveServer returns a server with empty snapshots.
+func NewLiveServer() *LiveServer { return &LiveServer{} }
+
+// Update re-renders all three snapshots. Call from the simulation thread.
+func (s *LiveServer) Update(now sim.Time, reg *Registry, rec *Recorder) {
+	var prom, jsonBuf, trace bytes.Buffer
+	_ = WritePrometheus(&prom, reg)
+	_ = WriteJSON(&jsonBuf, now, reg)
+	_ = WriteChromeTrace(&trace, rec)
+	s.mu.Lock()
+	s.prom = prom.Bytes()
+	s.json = jsonBuf.Bytes()
+	s.trace = trace.Bytes()
+	s.updates++
+	s.mu.Unlock()
+}
+
+// Updates reports how many snapshots have been published.
+func (s *LiveServer) Updates() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.updates
+}
+
+func (s *LiveServer) serve(w http.ResponseWriter, contentType string, pick func() []byte) {
+	s.mu.RLock()
+	body := pick()
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", contentType)
+	if len(body) == 0 {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	_, _ = w.Write(body)
+}
+
+// Handler returns the HTTP mux serving the snapshots.
+func (s *LiveServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		s.serve(w, "text/plain; version=0.0.4; charset=utf-8", func() []byte { return s.prom })
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		s.serve(w, "application/json", func() []byte { return s.json })
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		s.serve(w, "application/json", func() []byte { return s.trace })
+	})
+	return mux
+}

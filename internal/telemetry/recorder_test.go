@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"testing"
+
+	"ddoshield/internal/sim"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(4)
+	if r.Capacity() != 4 || r.Len() != 0 {
+		t.Fatalf("fresh recorder: cap=%d len=%d", r.Capacity(), r.Len())
+	}
+	r.Emit(sim.Second, CatNet, "queue-drop", "devA/eth0", 128)
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Name != "queue-drop" || ev[0].Time != sim.Second || ev[0].Value != 128 {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+// TestRecorderWraparound fills the ring well past capacity and asserts
+// oldest-event eviction order, ascending Seq, and stable sim.Time
+// ordering — the flight-recorder contract the exporters rely on.
+func TestRecorderWraparound(t *testing.T) {
+	const capacity, emitted = 8, 27
+	r := NewRecorder(capacity)
+	for i := 0; i < emitted; i++ {
+		r.Emit(sim.Time(i)*sim.Millisecond, CatContainer, "tick", "c", int64(i))
+	}
+	if r.Emitted() != emitted {
+		t.Fatalf("emitted = %d, want %d", r.Emitted(), emitted)
+	}
+	if r.Evicted() != emitted-capacity {
+		t.Fatalf("evicted = %d, want %d", r.Evicted(), emitted-capacity)
+	}
+	ev := r.Events()
+	if len(ev) != capacity {
+		t.Fatalf("retained %d events, want %d", len(ev), capacity)
+	}
+	for i, e := range ev {
+		wantSeq := uint64(emitted - capacity + i)
+		if e.Seq != wantSeq {
+			t.Fatalf("event %d: seq=%d, want %d (oldest-first eviction order)", i, e.Seq, wantSeq)
+		}
+		if e.Value != int64(wantSeq) {
+			t.Fatalf("event %d: value=%d, want %d", i, e.Value, wantSeq)
+		}
+		if i > 0 && e.Time < ev[i-1].Time {
+			t.Fatalf("sim.Time order violated at %d: %v < %v", i, e.Time, ev[i-1].Time)
+		}
+	}
+}
+
+func TestRecorderExactlyFull(t *testing.T) {
+	const capacity = 5
+	r := NewRecorder(capacity)
+	for i := 0; i < capacity; i++ {
+		r.Emit(sim.Time(i), CatIDS, "verdict", "u", int64(i))
+	}
+	if r.Evicted() != 0 {
+		t.Fatalf("evicted = %d, want 0 at exact capacity", r.Evicted())
+	}
+	ev := r.Events()
+	for i := range ev {
+		if ev[i].Seq != uint64(i) {
+			t.Fatalf("seq[%d]=%d", i, ev[i].Seq)
+		}
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(0, CatNet, "x", "y", 0)
+	if r.Events() != nil || r.Len() != 0 || r.Emitted() != 0 || r.Evicted() != 0 || r.Capacity() != 0 {
+		t.Fatal("nil recorder must be inert")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"ddoshield/internal/netstack"
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry"
 )
 
 // Well-known testbed addresses inside the default 10.0.0.0/16 subnet,
@@ -93,6 +94,9 @@ type Config struct {
 	// with default backoff; churn, when enabled, overrides the restart
 	// delay with its exponential outage draw.
 	Supervision container.SupervisorConfig
+	// TraceCapacity sizes the flight recorder's ring buffer (default
+	// telemetry.DefaultRecorderCapacity; negative disables recording).
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +157,9 @@ type Testbed struct {
 	devSups  []*container.Supervisor
 	churnGen map[*container.Container]int
 
+	reg *telemetry.Registry
+	rec *telemetry.Recorder
+
 	churnRNG *sim.RNG
 	started  bool
 }
@@ -167,6 +174,17 @@ func New(cfg Config) (*Testbed, error) {
 		churnGen: make(map[*container.Container]int),
 	}
 	tb.network = netsim.New(tb.sched)
+	// Telemetry hub first, so every NIC, link and switch created below
+	// registers its counters at construction time.
+	tb.reg = telemetry.NewRegistry()
+	traceCap := cfg.TraceCapacity
+	if traceCap == 0 {
+		traceCap = telemetry.DefaultRecorderCapacity
+	}
+	if traceCap > 0 {
+		tb.rec = telemetry.NewRecorder(traceCap)
+	}
+	tb.network.SetTelemetry(tb.reg, tb.rec)
 	tb.runtime = container.NewRuntime(tb.network)
 	tb.sw = tb.network.NewSwitch("lan0")
 
@@ -280,8 +298,53 @@ func New(cfg Config) (*Testbed, error) {
 	for _, c := range tb.allContainers() {
 		tb.injector.RegisterContainer(c)
 	}
+	tb.injector.SetTelemetry(tb.reg, tb.rec)
+	tb.registerCampaignMetrics()
 	return tb, nil
 }
+
+// registerCampaignMetrics exposes botnet campaign and fleet-health state as
+// export-time metrics: the infection curve, C2 population, attacker
+// progress and container crash/restart totals.
+func (tb *Testbed) registerCampaignMetrics() {
+	reg := tb.reg
+	reg.RegisterGaugeFunc(func() float64 { return float64(tb.InfectedCount()) },
+		"testbed_infected_devices")
+	reg.RegisterGaugeFunc(func() float64 { return float64(tb.c2.Bots()) },
+		"botnet_c2_bots")
+	reg.RegisterCounterFunc(func() uint64 { r, _ := tb.c2.Stats(); return r },
+		"botnet_c2_registered_total")
+	reg.RegisterCounterFunc(func() uint64 { _, s := tb.c2.Stats(); return s },
+		"botnet_c2_commands_total")
+	reg.RegisterCounterFunc(func() uint64 { p, _, _, _ := tb.attacker.Stats(); return p },
+		"botnet_attacker_probes_total")
+	reg.RegisterCounterFunc(func() uint64 { _, c, _, _ := tb.attacker.Stats(); return c },
+		"botnet_attacker_connects_total")
+	reg.RegisterCounterFunc(func() uint64 { _, _, c, _ := tb.attacker.Stats(); return c },
+		"botnet_attacker_cracked_total")
+	reg.RegisterCounterFunc(func() uint64 { _, _, _, i := tb.attacker.Stats(); return i },
+		"botnet_attacker_infections_total")
+	reg.RegisterCounterFunc(func() uint64 {
+		var n uint64
+		for _, c := range tb.allContainers() {
+			n += c.Crashes()
+		}
+		return n
+	}, "testbed_container_crashes_total")
+	reg.RegisterCounterFunc(func() uint64 {
+		var n uint64
+		for _, c := range tb.allContainers() {
+			n += uint64(c.Restarts())
+		}
+		return n
+	}, "testbed_container_restarts_total")
+}
+
+// Registry exposes the testbed's metrics registry.
+func (tb *Testbed) Registry() *telemetry.Registry { return tb.reg }
+
+// Recorder exposes the flight recorder (nil when TraceCapacity < 0).
+func (tb *Testbed) Recorder() *telemetry.Recorder { return tb.rec }
 
 // allContainers lists every container in creation order.
 func (tb *Testbed) allContainers() []*container.Container {
