@@ -121,6 +121,11 @@ func run() error {
 		fmt.Println(experiments.FormatTable2(rt.Table2))
 		fmt.Println("paper reference: RF 65.46/98.07/712.30  K-Means 67.88/86.83/11.20  CNN 65.94/275.85/736.30")
 	}
+	if len(rt.Detection) > 0 {
+		fmt.Println()
+		fmt.Println("DETECTION LATENCY — first attack packet origin → first correct alert")
+		fmt.Println(experiments.FormatDetection(rt.Detection))
+	}
 	return nil
 }
 
@@ -149,6 +154,9 @@ func runExtensionStudy(sc experiments.Scenario) error {
 	fmt.Println("EXTENSION STUDY — §V additional models, real-time")
 	fmt.Println(experiments.FormatTable1(rt.Table1))
 	fmt.Println(experiments.FormatTable2(rt.Table2))
+	if len(rt.Detection) > 0 {
+		fmt.Println(experiments.FormatDetection(rt.Detection))
+	}
 	return nil
 }
 

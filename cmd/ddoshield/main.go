@@ -19,6 +19,7 @@ import (
 	"ddoshield/internal/pcap"
 	"ddoshield/internal/scenario"
 	"ddoshield/internal/telemetry"
+	"ddoshield/internal/telemetry/trace"
 	"ddoshield/internal/testbed"
 )
 
@@ -48,6 +49,9 @@ func run() error {
 		metricsJSON = flag.String("metrics-json", "", "write a JSON metrics snapshot here at end of run")
 		traceOut    = flag.String("trace-out", "", "write the flight recorder as chrome://tracing JSON here")
 		listen      = flag.String("listen", "", "serve live /metrics, /metrics.json and /trace on this address (e.g. :9090)")
+
+		traceSample = flag.Float64("trace-sample", 0, "causal-tracing flow sample rate in [0,1] (0 disables; 1 traces every flow)")
+		spanOut     = flag.String("span-out", "", "write finished causal-trace spans here as JSONL (analyze with tracetool)")
 	)
 	flag.Parse()
 
@@ -75,9 +79,10 @@ func run() error {
 		fmt.Printf("scenario %q loaded from %s\n", def.Name, *config)
 	} else {
 		tb, err = testbed.New(testbed.Config{
-			Seed:       *seed,
-			NumDevices: *devices,
-			Churn:      testbed.ChurnConfig{Enabled: *churn},
+			Seed:            *seed,
+			NumDevices:      *devices,
+			Churn:           testbed.ChurnConfig{Enabled: *churn},
+			TraceSampleRate: *traceSample,
 		})
 		if err != nil {
 			return err
@@ -198,6 +203,15 @@ func run() error {
 		return telemetry.WriteChromeTrace(w, tb.Recorder())
 	}); err != nil {
 		return err
+	}
+	if *spanOut != "" {
+		if tb.Tracer() == nil {
+			fmt.Println("spans: no tracer attached (set -trace-sample > 0, or a scenario without tracing was loaded); skipping", *spanOut)
+		} else if err := writeSnapshot(*spanOut, "spans", func(w *os.File) error {
+			return trace.WriteSpans(w, tb.Tracer().Spans())
+		}); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package botnet
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -126,12 +127,25 @@ func (c *C2) accept(conn *netstack.Conn) {
 	conn.OnClose = func(err error) { drop() }
 }
 
+// sessions returns the connected bots ordered by id. Iterating the bots
+// map directly would let Go's randomized map order decide which bot's
+// flood engine starts first, breaking the same-seed-same-packets
+// guarantee (and with it byte-identical trace output).
+func (c *C2) sessions() []*botSession {
+	out := make([]*botSession, 0, len(c.bots))
+	for _, b := range c.bots {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
 // Broadcast sends an attack command to every connected bot, records the
 // attack interval for labeling, and returns how many bots received it.
 func (c *C2) Broadcast(cmd Command) int {
 	line := []byte(cmd.String() + "\r\n")
 	n := 0
-	for _, b := range c.bots {
+	for _, b := range c.sessions() {
 		b.conn.Send(line)
 		n++
 	}

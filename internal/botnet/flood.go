@@ -8,6 +8,7 @@ import (
 	"ddoshield/internal/netstack"
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry/trace"
 )
 
 // AttackType enumerates the implemented Mirai flood vectors. The paper
@@ -117,13 +118,19 @@ type Flood struct {
 
 	sent    uint64
 	payload []byte
+	// originName is the trace origin-span label ("flood-syn", ...),
+	// precomputed so the per-packet emit path stays allocation-free.
+	originName string
 }
 
 // NewFlood prepares (but does not start) a flood.
 func NewFlood(host *netstack.Host, rng *sim.RNG, cmd Command, spoof packet.Prefix) *Flood {
 	payload := make([]byte, UDPPayloadLen)
 	rng.Bytes(payload)
-	return &Flood{host: host, rng: rng, cmd: cmd, spoof: spoof, payload: payload}
+	return &Flood{
+		host: host, rng: rng, cmd: cmd, spoof: spoof, payload: payload,
+		originName: "flood-" + cmd.Type.String(),
+	}
 }
 
 // Sent reports packets emitted so far.
@@ -174,6 +181,20 @@ func (f *Flood) spoofedSource() packet.Addr {
 	return f.spoof.Host(uint32(f.rng.Intn(int(n))) + 1)
 }
 
+// originCtx opens a KindAttack origin span for one flood packet when the
+// (randomized) flow is sampled; with tracing off it costs nothing.
+func (f *Flood) originCtx(src packet.Addr, srcPort, dstPort uint16, proto uint8) trace.Context {
+	tr := f.host.Tracer()
+	if tr == nil {
+		return trace.Context{}
+	}
+	fl := trace.Flow{
+		Src: src.Uint32(), Dst: f.cmd.Target.Uint32(),
+		SrcPort: srcPort, DstPort: dstPort, Proto: proto,
+	}
+	return tr.OriginKind(f.host.Now(), fl, trace.KindAttack, f.originName, f.host.Name())
+}
+
 func (f *Flood) emit() {
 	f.sent++
 	ip := packet.IPv4{
@@ -191,7 +212,9 @@ func (f *Flood) emit() {
 			Flags:   packet.FlagSYN,
 			Window:  uint16(f.rng.Intn(65535) + 1),
 		}
-		f.host.SendRaw(packet.BuildTCP(f.host.MAC(), f.dstMAC, ip, tcp, nil))
+		oc := f.originCtx(ip.Src, tcp.SrcPort, tcp.DstPort, packet.ProtoTCP)
+		f.host.SendRawCtx(packet.BuildTCP(f.host.MAC(), f.dstMAC, ip, tcp, nil), oc)
+		oc.Finish(f.host.Now())
 	case AttackACK:
 		ip.Src = f.spoofedSource()
 		tcp := packet.TCP{
@@ -202,14 +225,18 @@ func (f *Flood) emit() {
 			Flags:   packet.FlagACK,
 			Window:  uint16(f.rng.Intn(65535) + 1),
 		}
-		f.host.SendRaw(packet.BuildTCP(f.host.MAC(), f.dstMAC, ip, tcp, nil))
+		oc := f.originCtx(ip.Src, tcp.SrcPort, tcp.DstPort, packet.ProtoTCP)
+		f.host.SendRawCtx(packet.BuildTCP(f.host.MAC(), f.dstMAC, ip, tcp, nil), oc)
+		oc.Finish(f.host.Now())
 	case AttackUDP:
 		ip.Src = f.host.Addr()
 		udp := packet.UDP{
 			SrcPort: uint16(f.rng.Intn(64512) + 1024),
 			DstPort: f.udpDstPort(),
 		}
-		f.host.SendRaw(packet.BuildUDP(f.host.MAC(), f.dstMAC, ip, udp, f.payload))
+		oc := f.originCtx(ip.Src, udp.SrcPort, udp.DstPort, packet.ProtoUDP)
+		f.host.SendRawCtx(packet.BuildUDP(f.host.MAC(), f.dstMAC, ip, udp, f.payload), oc)
+		oc.Finish(f.host.Now())
 	}
 }
 

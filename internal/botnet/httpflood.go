@@ -154,7 +154,7 @@ func parseExtendedAttackType(s string) (AttackType, bool) {
 // interval-based labeler for application-level attacks).
 func (c *C2) BotAddrs() []packet.Addr {
 	out := make([]packet.Addr, 0, len(c.bots))
-	for _, s := range c.bots {
+	for _, s := range c.sessions() {
 		addr, _ := s.conn.RemoteAddr()
 		out = append(out, addr)
 	}

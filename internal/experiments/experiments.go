@@ -73,6 +73,11 @@ type Scenario struct {
 	// regardless of the setting — every parallel site writes into
 	// index-addressed slices and shares no mutable state.
 	Workers int
+	// TraceSampleRate enables causal packet tracing in every testbed the
+	// scenario builds (fraction of flows traced; 0 disables). Tracing
+	// anchors the detection-latency measurement, so the presets keep a
+	// small rate on by default.
+	TraceSampleRate float64
 }
 
 // Quick is the CI-scale preset: ~90 s of simulated training traffic and
@@ -94,6 +99,7 @@ func Quick() Scenario {
 		MaxTrainSamples: 30000,
 		ChurnInDetect:   true,
 		SpeedFactor:     200,
+		TraceSampleRate: 1.0 / 64,
 	}
 }
 
@@ -121,6 +127,7 @@ func (sc Scenario) buildTestbed(seed int64, churn bool) (*testbed.Testbed, error
 			Enabled: churn,
 			MeanUp:  90 * time.Second,
 		},
+		TraceSampleRate: sc.TraceSampleRate,
 	})
 }
 
@@ -329,10 +336,23 @@ type Table2Row struct {
 	ModelSizeKb float64
 }
 
+// DetectionRow is one model's detection-latency measurement: the gap
+// between the first attack packet leaving its origin and the model's first
+// alert on a window that truly contained attack traffic.
+type DetectionRow struct {
+	Model   string
+	Latency time.Duration
+	// Detected is false when the unit never correctly alerted (Latency is
+	// then meaningless).
+	Detected bool
+}
+
 // RealTimeResult bundles the detection-run outputs.
 type RealTimeResult struct {
 	Table1 []Table1Row
 	Table2 []Table2Row
+	// Detection holds per-model detection latencies, in Table order.
+	Detection []DetectionRow
 	// Packets is the number of packets each unit classified.
 	Packets uint64
 }
@@ -376,7 +396,7 @@ func (sc Scenario) RunRealTimeModels(models []TrainedModel) (*RealTimeResult, er
 			Registry: tb.Registry(),
 			Recorder: tb.Recorder(),
 		})
-		tb.AddTap(u.Tap())
+		tb.AttachIDS(u)
 		mon := sysmon.NewMonitor(u, sc.Window)
 		mon.Start(tb.Scheduler())
 		mon.Publish(tb.Registry(), tm.Model.Name(), sc.SpeedFactor)
@@ -403,6 +423,8 @@ func (sc Scenario) RunRealTimeModels(models []TrainedModel) (*RealTimeResult, er
 			MemoryKb:    rep.PeakMemKb,
 			ModelSizeKb: float64(lu.size) / 1024,
 		})
+		d, ok := tb.DetectionLatency(lu.unit)
+		res.Detection = append(res.Detection, DetectionRow{Model: lu.name, Latency: d, Detected: ok})
 		res.Packets = lu.unit.PacketsSeen()
 	}
 	return res, nil
@@ -492,6 +514,19 @@ func FormatTable2(rows []Table2Row) string {
 	for _, r := range rows {
 		out += fmt.Sprintf("%-8s | %7.2f | %11.2f | %14.2f\n",
 			displayName(r.Model), r.CPUPercent, r.MemoryKb, r.ModelSizeKb)
+	}
+	return out
+}
+
+// FormatDetection renders the per-model detection-latency table.
+func FormatDetection(rows []DetectionRow) string {
+	out := "Model    | Detection latency\n---------+------------------\n"
+	for _, r := range rows {
+		lat := "n/a"
+		if r.Detected {
+			lat = r.Latency.String()
+		}
+		out += fmt.Sprintf("%-8s | %s\n", displayName(r.Model), lat)
 	}
 	return out
 }

@@ -142,8 +142,9 @@ func (sc Scenario) runResiliencePoint(models []TrainedModel, intensity float64, 
 			Window:  sc.Window,
 			Labeler: tb.Labeler(),
 			Meter:   tb.IDSContainer(),
+			Name:    tm.Model.Name(),
 		})
-		tb.AddTap(u.Tap())
+		tb.AttachIDS(u)
 		units = append(units, liveUnit{name: tm.Model.Name(), unit: u})
 	}
 	mons := make([]*sysmon.Monitor, 0, len(tb.Devices()))

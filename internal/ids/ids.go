@@ -19,6 +19,7 @@ import (
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
 	"ddoshield/internal/telemetry"
+	"ddoshield/internal/telemetry/trace"
 )
 
 // Labeler is the ground-truth oracle: it maps a packet to dataset.Benign
@@ -96,7 +97,20 @@ type Unit struct {
 	alerts   uint64
 	detached bool
 	winCPU   *telemetry.Histogram
+
+	// pending holds the "ids-window" spans of sampled packets in the
+	// currently open window; they finish with the window's verdict tag.
+	pending []trace.Context
+	// firstCorrectAlert is when the unit first alerted on a window that
+	// truly contained malicious packets — the detection-latency end anchor.
+	firstCorrectAlert     sim.Time
+	haveFirstCorrectAlert bool
 }
+
+// maxPendingSpans caps verdict-pending spans per window so a fully sampled
+// flood cannot grow the slice without bound; excess packets simply end
+// their traces at delivery.
+const maxPendingSpans = 4096
 
 // windowCPUBounds buckets per-window processing cost in microseconds.
 var windowCPUBounds = []float64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
@@ -116,6 +130,9 @@ func New(cfg Config) *Unit {
 	return u
 }
 
+// Name reports the unit's telemetry label.
+func (u *Unit) Name() string { return u.cfg.Name }
+
 // Tap returns a netsim.Tap that feeds the unit — attach it to the switch
 // (span port) or to the TServer's link, as Fig. 1 places the IDS.
 func (u *Unit) Tap() netsim.Tap {
@@ -133,6 +150,38 @@ func (u *Unit) Tap() netsim.Tap {
 		p.Release()
 		u.addCPU(time.Since(start))
 	}
+}
+
+// TapCtx is Tap joined to the causal-tracing plane: a sampled packet's
+// chain gains an "ids-window" span that stays open until the packet's
+// window closes and finishes tagged with the verdict ("alert"/"clear").
+// Attach via testbed.AttachIDS or netsim's AddTapCtx.
+func (u *Unit) TapCtx() netsim.TapCtx {
+	return func(t sim.Time, raw []byte, tc trace.Context) {
+		if u.detached {
+			return
+		}
+		start := time.Now()
+		p := packet.Acquire()
+		if err := packet.DecodeInto(p, t, raw); err == nil {
+			p.Trace = tc
+			// AddPacket first: if this packet rotates the window, the old
+			// window's pending spans are flushed before this one enrolls.
+			u.extractor.AddPacket(p)
+			if tc.Sampled() && len(u.pending) < maxPendingSpans {
+				u.pending = append(u.pending, tc.Start(t, "ids-window", u.cfg.Name))
+			}
+		}
+		p.Release()
+		u.addCPU(time.Since(start))
+	}
+}
+
+// FirstCorrectAlert reports when the unit first raised an alert on a
+// window that truly contained attack traffic (the per-scenario detection
+// latency's end anchor), and whether that has happened.
+func (u *Unit) FirstCorrectAlert() (sim.Time, bool) {
+	return u.firstCorrectAlert, u.haveFirstCorrectAlert
 }
 
 // Feed classifies an already-dissected packet (offline replay path).
@@ -214,6 +263,17 @@ func (u *Unit) onWindow(w *features.Window) {
 	if res.Alert {
 		u.alerts++
 		verdict = "alert"
+	}
+	// Close the window's sampled-packet spans with the verdict at the
+	// window boundary — the instant the verdict actually exists.
+	windowEnd := w.Start.Add(u.extractor.WindowSize())
+	for _, tc := range u.pending {
+		tc.FinishTag(windowEnd, verdict)
+	}
+	u.pending = u.pending[:0]
+	if res.Alert && res.TruthMalicious > 0 && !u.haveFirstCorrectAlert {
+		u.haveFirstCorrectAlert = true
+		u.firstCorrectAlert = windowEnd
 	}
 	u.cfg.Recorder.Emit(w.Start, telemetry.CatIDS, verdict, u.cfg.Name, int64(res.PredMalicious))
 	u.results = append(u.results, res)

@@ -14,12 +14,14 @@ import (
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
 	"ddoshield/internal/telemetry"
+	"ddoshield/internal/telemetry/trace"
 )
 
 // Port is anything that can terminate a link: a host NIC or a switch port.
 type Port interface {
-	// receive is invoked by the link when a frame finishes arriving.
-	receive(raw []byte)
+	// receive is invoked by the link when a frame finishes arriving; tc is
+	// the frame's trace context (zero for unsampled frames).
+	receive(raw []byte, tc trace.Context)
 	// String identifies the port for diagnostics.
 	String() string
 }
@@ -28,6 +30,10 @@ type Port interface {
 // simulated timestamp, exactly like a passive capture interface. The pcap
 // writer and the IDS monitor are both taps.
 type Tap func(t sim.Time, raw []byte)
+
+// TapCtx is a Tap that also sees the frame's trace context, so observers
+// (the IDS) can extend a sampled packet's causal chain.
+type TapCtx func(t sim.Time, raw []byte, tc trace.Context)
 
 // Network owns the simulated topology: the scheduler, every node, link and
 // switch, and the MAC address allocator.
@@ -43,6 +49,9 @@ type Network struct {
 	// instrument works standalone and Recorder.Emit is nil-safe).
 	reg *telemetry.Registry
 	rec *telemetry.Recorder
+	// tracer drives causal packet tracing; nil (or a zero sample rate)
+	// keeps every frame on the zero-Context fast path.
+	tracer *trace.Tracer
 }
 
 // New creates an empty network driven by sched.
@@ -84,6 +93,15 @@ func (n *Network) Recorder() *telemetry.Recorder { return n.rec }
 
 // Registry exposes the attached metrics registry (nil when unattached).
 func (n *Network) Registry() *telemetry.Registry { return n.reg }
+
+// SetTracer attaches (or, with nil, detaches) the causal packet tracer.
+// Origin points — the netstack send paths and the botnet flood engines —
+// read it through Tracer() at send time.
+func (n *Network) SetTracer(tr *trace.Tracer) { n.tracer = tr }
+
+// Tracer exposes the attached packet tracer (nil when tracing is off; the
+// trace API is nil-receiver safe, so callers use the result directly).
+func (n *Network) Tracer() *trace.Tracer { return n.tracer }
 
 func (n *Network) registerNIC(c *NIC) {
 	if n.reg == nil {
@@ -199,6 +217,9 @@ type NIC struct {
 	link    *Link
 	side    int // 0 or 1: which end of the link this NIC terminates
 	handler func(raw []byte)
+	// ctxHandler, when set, wins over handler and also receives the
+	// frame's trace context (the netstack installs this one).
+	ctxHandler func(raw []byte, tc trace.Context)
 	// ingress, when set, vets every arriving frame before the handler;
 	// returning false drops it (the firewall hook).
 	ingress func(raw []byte) bool
@@ -227,15 +248,31 @@ func (c *NIC) Attached() bool { return c.link != nil }
 // SetHandler installs the receive callback (the host network stack).
 func (c *NIC) SetHandler(fn func(raw []byte)) { c.handler = fn }
 
+// SetHandlerCtx installs a trace-context-aware receive callback; it takes
+// precedence over SetHandler.
+func (c *NIC) SetHandlerCtx(fn func(raw []byte, tc trace.Context)) { c.ctxHandler = fn }
+
 // Send transmits a raw frame out of the NIC. Frames sent on an unattached
 // NIC are silently dropped, like a cable that was unplugged (device churn).
-func (c *NIC) Send(raw []byte) {
+func (c *NIC) Send(raw []byte) { c.SendCtx(raw, trace.Context{}) }
+
+// SendCtx is Send carrying a trace context: it records an instant "nic-tx"
+// hop span and hands the chain to the link. An unattached NIC terminates
+// the trace with DropUnattached.
+func (c *NIC) SendCtx(raw []byte, tc trace.Context) {
 	if c.link == nil {
+		tc.Drop(c.node.net.sched.Now(), trace.DropUnattached)
 		return
 	}
 	c.txFrames.Inc()
 	c.txBytes.Add(uint64(len(raw)))
-	c.link.send(c.side, raw)
+	if tc.Sampled() {
+		now := c.node.net.sched.Now()
+		hop := tc.Start(now, "nic-tx", c.name)
+		hop.Finish(now)
+		tc = hop
+	}
+	c.link.send(c.side, raw, tc)
 }
 
 // Stats reports cumulative frame/byte counters (rx then tx).
@@ -243,16 +280,30 @@ func (c *NIC) Stats() (rxFrames, rxBytes, txFrames, txBytes uint64) {
 	return c.rxFrames.Value(), c.rxBytes.Value(), c.txFrames.Value(), c.txBytes.Value()
 }
 
-func (c *NIC) receive(raw []byte) {
+func (c *NIC) receive(raw []byte, tc trace.Context) {
 	if c.ingress != nil && !c.ingress(raw) {
 		c.ingressDropped.Inc()
 		c.node.net.emit(telemetry.CatNet, "ingress-drop", c.name, int64(len(raw)))
+		if tc.Sampled() {
+			now := c.node.net.sched.Now()
+			tc.Start(now, "nic-rx", c.name).Drop(now, trace.DropIngressFilter)
+		}
 		return
 	}
 	c.rxFrames.Inc()
 	c.rxBytes.Add(uint64(len(raw)))
-	if c.handler != nil {
+	if tc.Sampled() {
+		now := c.node.net.sched.Now()
+		hop := tc.Start(now, "nic-rx", c.name)
+		hop.Finish(now)
+		tc = hop
+	}
+	if c.ctxHandler != nil {
+		c.ctxHandler(raw, tc)
+	} else if c.handler != nil {
 		c.handler(raw)
+	} else {
+		tc.Drop(c.node.net.sched.Now(), trace.DropNoSocket)
 	}
 }
 
@@ -355,20 +406,28 @@ func (s *LinkStats) Add(o LinkStats) {
 // Link is a full-duplex point-to-point link between two ports. Each
 // direction has an independent transmitter with a drop-tail byte queue.
 type Link struct {
-	net  *Network
-	cfg  LinkConfig
-	imp  Impairments
-	ends [2]Port
-	dirs [2]*direction // dirs[i] carries frames from ends[i] to ends[1-i]
-	taps []Tap
-	up   bool
+	net     *Network
+	cfg     LinkConfig
+	imp     Impairments
+	ends    [2]Port
+	dirs    [2]*direction // dirs[i] carries frames from ends[i] to ends[1-i]
+	taps    []Tap
+	ctxTaps []TapCtx
+	up      bool
+}
+
+// queuedFrame is one drop-tail queue entry: the frame plus its trace
+// context, which must ride along so the "link" span covers queueing delay.
+type queuedFrame struct {
+	raw []byte
+	tc  trace.Context
 }
 
 type direction struct {
 	link   *Link
 	from   int
 	name   string // "src->dst" port pair, precomputed for labels/events
-	queue  [][]byte
+	queue  []queuedFrame
 	queued int // bytes waiting (excluding the frame in transmission)
 	busy   bool
 
@@ -410,6 +469,10 @@ func bindPort(p Port, l *Link, side int) {
 // AddTap registers a passive observer invoked for every frame the link
 // delivers (in either direction).
 func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
+
+// AddTapCtx registers a trace-context-aware observer invoked for every
+// frame the link delivers.
+func (l *Link) AddTapCtx(t TapCtx) { l.ctxTaps = append(l.ctxTaps, t) }
 
 // SetUp raises or cuts the link. Frames sent while the link is down are
 // dropped at the queue; frames already in flight when it goes down are
@@ -460,27 +523,32 @@ func (l *Link) serializationTime(n int) sim.Time {
 	return sim.Time(int64(n) * 8 * int64(sim.Second) / l.cfg.RateBps)
 }
 
-func (l *Link) send(from int, raw []byte) {
+func (l *Link) send(from int, raw []byte, tc trace.Context) {
 	d := l.dirs[from]
+	// The "link" span opens at enqueue, so it covers queueing delay plus
+	// serialization plus propagation — the full hop latency.
+	span := tc.Start(l.net.sched.Now(), "link", d.name)
 	if !l.up {
 		d.dropFrames.Inc()
 		l.net.emit(telemetry.CatNet, "queue-drop", d.name, int64(len(raw)))
+		span.Drop(l.net.sched.Now(), trace.DropLinkDown)
 		return
 	}
 	if d.busy {
 		if d.queued+len(raw) > l.cfg.QueueBytes {
 			d.dropFrames.Inc() // drop-tail: queue full
 			l.net.emit(telemetry.CatNet, "queue-drop", d.name, int64(len(raw)))
+			span.Drop(l.net.sched.Now(), trace.DropQueueFull)
 			return
 		}
-		d.queue = append(d.queue, raw)
+		d.queue = append(d.queue, queuedFrame{raw: raw, tc: span})
 		d.queued += len(raw)
 		return
 	}
-	d.transmit(raw)
+	d.transmit(raw, span)
 }
 
-func (d *direction) transmit(raw []byte) {
+func (d *direction) transmit(raw []byte, tc trace.Context) {
 	l := d.link
 	d.busy = true
 	ser := l.serializationTime(len(raw))
@@ -491,9 +559,10 @@ func (d *direction) transmit(raw []byte) {
 		d.txBytes.Add(uint64(len(raw)))
 		if len(d.queue) > 0 {
 			next := d.queue[0]
+			d.queue[0] = queuedFrame{}
 			d.queue = d.queue[1:]
-			d.queued -= len(next)
-			d.transmit(next)
+			d.queued -= len(next.raw)
+			d.transmit(next.raw, next.tc)
 		} else {
 			d.busy = false
 		}
@@ -501,6 +570,7 @@ func (d *direction) transmit(raw []byte) {
 	if l.cfg.LossProb > 0 && l.cfg.RNG != nil && l.cfg.RNG.Bool(l.cfg.LossProb) {
 		d.lossFrames.Inc()
 		l.net.emit(telemetry.CatNet, "loss", d.name, int64(len(raw)))
+		tc.Drop(sched.Now(), trace.DropLoss)
 		return
 	}
 	arrive := sched.Now() + ser + l.cfg.Delay
@@ -509,6 +579,7 @@ func (d *direction) transmit(raw []byte) {
 		if im.LossProb > 0 && im.RNG.Bool(im.LossProb) {
 			d.lossFrames.Inc()
 			l.net.emit(telemetry.CatNet, "loss", d.name, int64(len(raw)))
+			tc.Drop(sched.Now(), trace.DropLoss)
 			return
 		}
 		if im.CorruptProb > 0 && im.RNG.Bool(im.CorruptProb) {
@@ -531,13 +602,15 @@ func (d *direction) transmit(raw []byte) {
 			l.net.emit(telemetry.CatNet, "reorder", d.name, int64(len(raw)))
 		}
 	}
-	d.scheduleArrival(arrive, raw)
+	d.scheduleArrival(arrive, raw, tc)
 	if dup {
-		d.scheduleArrival(arrive+ser, raw)
+		// The duplicate shares the primary's span: the second Finish is a
+		// no-op, and its downstream hops chain off the same parent.
+		d.scheduleArrival(arrive+ser, raw, tc)
 	}
 }
 
-func (d *direction) scheduleArrival(at sim.Time, raw []byte) {
+func (d *direction) scheduleArrival(at sim.Time, raw []byte, tc trace.Context) {
 	l := d.link
 	sched := l.net.sched
 	to := l.ends[1-d.from]
@@ -545,12 +618,17 @@ func (d *direction) scheduleArrival(at sim.Time, raw []byte) {
 		if !l.up {
 			d.inflightDrops.Inc()
 			l.net.emit(telemetry.CatNet, "inflight-drop", d.name, int64(len(raw)))
+			tc.Drop(sched.Now(), trace.DropInFlightCut)
 			return
 		}
+		tc.Finish(sched.Now())
 		for _, tap := range l.taps {
 			tap(sched.Now(), raw)
 		}
-		to.receive(raw)
+		for _, tap := range l.ctxTaps {
+			tap(sched.Now(), raw, tc)
+		}
+		to.receive(raw, tc)
 	})
 }
 

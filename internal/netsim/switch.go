@@ -6,17 +6,19 @@ import (
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
 	"ddoshield/internal/telemetry"
+	"ddoshield/internal/telemetry/trace"
 )
 
 // Switch is a learning Ethernet switch: the CSMA segment that joins the
 // testbed's containers in the paper's topology. It floods unknown and
 // broadcast destinations and learns source MACs per port.
 type Switch struct {
-	net   *Network
-	name  string
-	ports []*switchPort
-	table map[packet.MAC]*switchPort
-	taps  []Tap
+	net     *Network
+	name    string
+	ports   []*switchPort
+	table   map[packet.MAC]*switchPort
+	taps    []Tap
+	ctxTaps []TapCtx
 
 	// Shared telemetry counters; Stats()/PartitionDrops() are adapters.
 	forwarded      telemetry.Counter
@@ -47,6 +49,10 @@ func (s *Switch) NewPort() Port {
 // relays (once per ingress frame, regardless of fan-out). Tapping the switch
 // is the testbed's span-port analog: the IDS sees all segment traffic.
 func (s *Switch) AddTap(t Tap) { s.taps = append(s.taps, t) }
+
+// AddTapCtx registers a trace-context-aware span-port observer (the IDS
+// attaches here to join sampled packets' causal chains).
+func (s *Switch) AddTapCtx(t TapCtx) { s.ctxTaps = append(s.ctxTaps, t) }
 
 // Stats reports frames forwarded to a learned port and frames flooded.
 func (s *Switch) Stats() (forwarded, flooded uint64) {
@@ -100,20 +106,26 @@ var _ Port = (*switchPort)(nil)
 
 func (p *switchPort) String() string { return p.name }
 
-func (p *switchPort) send(raw []byte) {
+func (p *switchPort) send(raw []byte, tc trace.Context) {
 	if p.link != nil {
-		p.link.send(p.side, raw)
+		p.link.send(p.side, raw, tc)
 	}
 }
 
-func (p *switchPort) receive(raw []byte) {
+func (p *switchPort) receive(raw []byte, tc trace.Context) {
 	s := p.sw
+	now := s.net.sched.Now()
 	eth, _, err := packet.UnmarshalEthernet(raw)
 	if err != nil {
+		tc.Start(now, "switch", p.name).Drop(now, trace.DropMalformed)
 		return // runt frame: discard
 	}
+	span := tc.Start(now, "switch", p.name)
 	for _, tap := range s.taps {
-		tap(s.net.sched.Now(), raw)
+		tap(now, raw)
+	}
+	for _, tap := range s.ctxTaps {
+		tap(now, raw, span)
 	}
 	if !eth.Src.IsBroadcast() {
 		s.table[eth.Src] = p
@@ -124,19 +136,25 @@ func (p *switchPort) receive(raw []byte) {
 				if out.group != p.group {
 					s.partitionDrops.Inc()
 					s.net.emit(telemetry.CatNet, "partition-drop", p.name, int64(len(raw)))
+					span.Drop(now, trace.DropPartition)
 					return
 				}
 				s.forwarded.Inc()
-				out.send(raw)
+				span.Finish(now)
+				out.send(raw, span)
+				return
 			}
+			// Destination hangs off the ingress port: nothing to relay.
+			span.FinishTag(now, "same-port")
 			return
 		}
 	}
 	// Broadcast or unknown unicast: flood all other ports in the group.
 	s.flooded.Inc()
+	span.Finish(now)
 	for _, out := range s.ports {
 		if out != p && out.group == p.group {
-			out.send(raw)
+			out.send(raw, span)
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
 	"ddoshield/internal/telemetry"
+	"ddoshield/internal/telemetry/trace"
 )
 
 // HostConfig configures a host's single-homed IPv4 stack.
@@ -35,6 +36,9 @@ type HostConfig struct {
 
 type pendingFrame struct {
 	build func(dstMAC packet.MAC) []byte
+	// tc is the queued packet's origin span; it stays open across the ARP
+	// wait so the trace charges resolution delay to the origin hop.
+	tc trace.Context
 }
 
 type arpEntry struct {
@@ -88,7 +92,7 @@ func NewHost(nic *netsim.NIC, cfg HostConfig) *Host {
 		conns:     make(map[connKey]*Conn),
 		ephemeral: 32768,
 	}
-	nic.SetHandler(h.receive)
+	nic.SetHandlerCtx(h.receive)
 	return h
 }
 
@@ -102,6 +106,28 @@ func (h *Host) emitTCP(name string, value int64) {
 
 // Addr reports the host's IPv4 address.
 func (h *Host) Addr() packet.Addr { return h.cfg.Addr }
+
+// Name reports the host's cached address string — the actor label its
+// spans and trace events carry.
+func (h *Host) Name() string { return h.name }
+
+// Tracer resolves the network's packet tracer at call time (nil when
+// tracing is off; the trace API is nil-receiver safe).
+func (h *Host) Tracer() *trace.Tracer { return h.nic.Node().Network().Tracer() }
+
+// traceOrigin opens an origin span for a locally generated packet when its
+// flow is sampled; unsampled flows get the zero Context at zero cost.
+func (h *Host) traceOrigin(name string, dst packet.Addr, srcPort, dstPort uint16, proto uint8) trace.Context {
+	tr := h.Tracer()
+	if tr == nil {
+		return trace.Context{}
+	}
+	f := trace.Flow{
+		Src: h.cfg.Addr.Uint32(), Dst: dst.Uint32(),
+		SrcPort: srcPort, DstPort: dstPort, Proto: proto,
+	}
+	return tr.Origin(h.sched.Now(), f, name, h.name)
+}
 
 // MAC reports the bound NIC's hardware address.
 func (h *Host) MAC() packet.MAC { return h.nic.MAC() }
@@ -160,26 +186,35 @@ const (
 // sendIP resolves the next hop's MAC (via ARP, queueing the frame while
 // resolution is in flight) and transmits the frame built by build.
 func (h *Host) sendIP(dst packet.Addr, build func(dstMAC packet.MAC) []byte) {
+	h.sendIPCtx(dst, trace.Context{}, build)
+}
+
+// sendIPCtx is sendIP carrying the packet's origin span: the span closes at
+// NIC hand-off (so it covers any ARP wait) or terminates as DropNoRoute.
+func (h *Host) sendIPCtx(dst packet.Addr, tc trace.Context, build func(dstMAC packet.MAC) []byte) {
 	hop, err := h.nextHop(dst)
 	if err != nil {
-		return // unroutable: silently dropped, as a real stack would
+		// Unroutable: silently dropped, as a real stack would.
+		tc.Drop(h.sched.Now(), trace.DropNoRoute)
+		return
 	}
-	h.sendIPVia(hop, build)
+	h.sendIPVia(hop, tc, build)
 }
 
 // sendIPVia transmits via an explicit next-hop address on this segment.
-func (h *Host) sendIPVia(hop packet.Addr, build func(dstMAC packet.MAC) []byte) {
+func (h *Host) sendIPVia(hop packet.Addr, tc trace.Context, build func(dstMAC packet.MAC) []byte) {
 	e := h.arp[hop]
 	if e != nil && e.mac != (packet.MAC{}) {
 		h.txIPv4++
-		h.nic.Send(build(e.mac))
+		h.nic.SendCtx(build(e.mac), tc)
+		tc.Finish(h.sched.Now())
 		return
 	}
 	if e == nil {
 		e = &arpEntry{}
 		h.arp[hop] = e
 	}
-	e.pending = append(e.pending, pendingFrame{build: build})
+	e.pending = append(e.pending, pendingFrame{build: build, tc: tc})
 	if !e.waiting {
 		e.waiting = true
 		e.tries = 0
@@ -203,6 +238,9 @@ func (h *Host) sendARPRequest(target packet.Addr, e *arpEntry) {
 		if e.tries >= arpMaxTries {
 			e.waiting = false
 			h.arpFailed += uint64(len(e.pending))
+			for _, p := range e.pending {
+				p.tc.Drop(h.sched.Now(), trace.DropNoRoute)
+			}
 			e.pending = nil
 			return
 		}
@@ -238,29 +276,44 @@ func (h *Host) ResolveMAC(ip packet.Addr, cb func(mac packet.MAC, ok bool)) {
 
 // SendRaw transmits a pre-built frame verbatim. Nil and runt frames are
 // ignored. This is the raw-socket analog the Mirai attack engines use.
-func (h *Host) SendRaw(frame []byte) {
+func (h *Host) SendRaw(frame []byte) { h.SendRawCtx(frame, trace.Context{}) }
+
+// SendRawCtx is SendRaw carrying a trace context opened by the caller (the
+// flood engines originate spans themselves, since their spoofed flows never
+// pass through sendIP).
+func (h *Host) SendRawCtx(frame []byte, tc trace.Context) {
 	if len(frame) < packet.EthernetHeaderLen {
+		tc.Drop(h.sched.Now(), trace.DropMalformed)
 		return
 	}
-	h.nic.Send(frame)
+	h.nic.SendCtx(frame, tc)
 }
 
-// receive is the NIC ingress path.
-func (h *Host) receive(raw []byte) {
+// receive is the NIC ingress path. A sampled frame's chain continues in a
+// "deliver" span covering dissection and socket dispatch; the span ends
+// terminally at a socket, or as a cause-tagged drop.
+func (h *Host) receive(raw []byte, tc trace.Context) {
+	now := h.sched.Now()
+	span := tc.Start(now, "deliver", h.name)
 	eth, rest, err := packet.UnmarshalEthernet(raw)
 	if err != nil {
+		span.Drop(now, trace.DropMalformed)
 		return
 	}
 	if eth.Dst != h.MAC() && !eth.Dst.IsBroadcast() {
 		h.rxBadDst++
+		span.Drop(now, trace.DropBadDst)
 		return
 	}
 	switch eth.Type {
 	case packet.EtherTypeARP:
 		h.rxARP++
+		span.Finish(now)
 		h.handleARP(rest)
 	case packet.EtherTypeIPv4:
-		h.handleIPv4(rest)
+		h.handleIPv4(rest, span)
+	default:
+		span.Drop(now, trace.DropNoSocket)
 	}
 }
 
@@ -284,8 +337,9 @@ func (h *Host) handleARP(b []byte) {
 			for _, p := range pending {
 				if f := p.build(e.mac); f != nil {
 					h.txIPv4++
-					h.nic.Send(f)
+					h.nic.SendCtx(f, p.tc)
 				}
+				p.tc.Finish(h.sched.Now())
 			}
 		}
 	}
@@ -301,25 +355,31 @@ func (h *Host) handleARP(b []byte) {
 	}
 }
 
-func (h *Host) handleIPv4(b []byte) {
+func (h *Host) handleIPv4(b []byte, tc trace.Context) {
+	now := h.sched.Now()
 	ip, payload, err := packet.UnmarshalIPv4(b)
 	if err != nil {
+		tc.Drop(now, trace.DropMalformed)
 		return
 	}
 	if ip.Dst != h.cfg.Addr && ip.Dst != (packet.Addr{255, 255, 255, 255}) {
 		if h.forwarder != nil {
+			tc.FinishTag(now, "forward")
 			h.forwarder.forward(ip, payload)
 			return
 		}
 		h.rxBadDst++
+		tc.Drop(now, trace.DropBadDst)
 		return
 	}
 	h.rxIPv4++
 	switch ip.Proto {
 	case packet.ProtoTCP:
-		h.handleTCP(ip, payload)
+		h.handleTCP(ip, payload, tc)
 	case packet.ProtoUDP:
-		h.handleUDP(ip, payload)
+		h.handleUDP(ip, payload, tc)
+	default:
+		tc.Drop(now, trace.DropNoSocket)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"ddoshield/internal/netsim"
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry/trace"
 )
 
 // Router is a multi-homed IPv4 forwarder: it joins several LAN segments,
@@ -109,7 +110,7 @@ func (ifc *routerIface) forward(ip packet.IPv4, payload []byte) {
 	body := make([]byte, len(payload))
 	copy(body, payload)
 	out := ip
-	egress.host.sendIPVia(hop, func(dstMAC packet.MAC) []byte {
+	egress.host.sendIPVia(hop, trace.Context{}, func(dstMAC packet.MAC) []byte {
 		eth := packet.Ethernet{Dst: dstMAC, Src: egress.host.MAC(), Type: packet.EtherTypeIPv4}
 		b := eth.Marshal(make([]byte, 0, packet.EthernetHeaderLen+packet.IPv4HeaderLen+len(body)))
 		b = out.Marshal(b, len(body))

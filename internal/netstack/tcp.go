@@ -7,6 +7,7 @@ import (
 
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry/trace"
 )
 
 // ConnState enumerates the implemented subset of the TCP state machine.
@@ -259,6 +260,12 @@ func (c *Conn) Abort() {
 // --- internals ---
 
 func (c *Conn) sendSegment(seq, ack uint32, flags uint8, payload []byte) {
+	c.sendSegmentTraced("tcp-tx", seq, ack, flags, payload)
+}
+
+// sendSegmentTraced is sendSegment with an explicit origin-span name, so
+// retransmissions trace as "tcp-retransmit" rather than "tcp-tx".
+func (c *Conn) sendSegmentTraced(origin string, seq, ack uint32, flags uint8, payload []byte) {
 	h := c.host
 	ip := packet.IPv4{TTL: h.cfg.TTL, ID: h.nextIPID(), Src: h.cfg.Addr, Dst: c.key.remote}
 	tcp := packet.TCP{
@@ -269,7 +276,8 @@ func (c *Conn) sendSegment(seq, ack uint32, flags uint8, payload []byte) {
 		Flags:   flags,
 		Window:  advertisedWindow,
 	}
-	h.sendIP(c.key.remote, func(dstMAC packet.MAC) []byte {
+	oc := h.traceOrigin(origin, c.key.remote, c.key.localPort, c.key.remotePort, packet.ProtoTCP)
+	h.sendIPCtx(c.key.remote, oc, func(dstMAC packet.MAC) []byte {
 		return packet.BuildTCP(h.MAC(), dstMAC, ip, tcp, payload)
 	})
 }
@@ -374,9 +382,9 @@ func (c *Conn) onRetransmitTimeout() {
 	c.rto *= 2
 	switch c.state {
 	case StateSynSent:
-		c.sendSegment(c.iss, 0, packet.FlagSYN, nil)
+		c.sendSegmentTraced("tcp-retransmit", c.iss, 0, packet.FlagSYN, nil)
 	case StateSynRcvd:
-		c.sendSegment(c.iss, c.rcvNxt, packet.FlagSYN|packet.FlagACK, nil)
+		c.sendSegmentTraced("tcp-retransmit", c.iss, c.rcvNxt, packet.FlagSYN|packet.FlagACK, nil)
 	default:
 		// Resend the earliest unacknowledged chunk (go-back-one).
 		if n := uint32(len(c.sendBuf)); n > 0 {
@@ -384,9 +392,9 @@ func (c *Conn) onRetransmitTimeout() {
 			if seg > MSS {
 				seg = MSS
 			}
-			c.sendSegment(c.sndUna, c.rcvNxt, packet.FlagACK|packet.FlagPSH, c.sendBuf[:seg])
+			c.sendSegmentTraced("tcp-retransmit", c.sndUna, c.rcvNxt, packet.FlagACK|packet.FlagPSH, c.sendBuf[:seg])
 		} else if c.finSent && c.sndUna == c.finSeq {
-			c.sendSegment(c.finSeq, c.rcvNxt, packet.FlagFIN|packet.FlagACK, nil)
+			c.sendSegmentTraced("tcp-retransmit", c.finSeq, c.rcvNxt, packet.FlagFIN|packet.FlagACK, nil)
 		}
 	}
 	c.armRetransmit()
@@ -427,23 +435,29 @@ func (c *Conn) enterTimeWait() {
 	}
 }
 
-// handleTCP dispatches an inbound segment to a connection or listener.
-func (h *Host) handleTCP(ip packet.IPv4, payload []byte) {
+// handleTCP dispatches an inbound segment to a connection or listener. tc
+// is the packet's "deliver" span: it ends terminally when a socket takes
+// the segment, or as a drop (no-socket, SYN backlog) otherwise.
+func (h *Host) handleTCP(ip packet.IPv4, payload []byte, tc trace.Context) {
+	now := h.sched.Now()
 	tcp, data, err := packet.UnmarshalTCP(payload, ip.Src, ip.Dst, true)
 	if err != nil {
+		tc.Drop(now, trace.DropMalformed)
 		return
 	}
 	key := connKey{remote: ip.Src, remotePort: tcp.SrcPort, localPort: tcp.DstPort}
 	if c, ok := h.conns[key]; ok {
+		tc.FinishTerminal(now)
 		c.handleSegment(tcp, data)
 		return
 	}
 	if l, ok := h.listeners[tcp.DstPort]; ok && tcp.Flags&packet.FlagSYN != 0 && tcp.Flags&packet.FlagACK == 0 {
-		l.handleSYN(key, tcp)
+		l.handleSYN(key, tcp, tc)
 		return
 	}
 	// No socket: answer with RST (except to RSTs), as a real stack does.
 	// The Mirai scanner interprets this as "telnet closed".
+	tc.Drop(now, trace.DropNoSocket)
 	if tcp.Flags&packet.FlagRST == 0 {
 		h.sendRST(ip.Src, tcp)
 	}
@@ -458,20 +472,25 @@ func (h *Host) sendRST(dst packet.Addr, in packet.TCP) {
 		SrcPort: in.DstPort, DstPort: in.SrcPort,
 		Seq: seq, Ack: ack, Flags: flags, Window: 0,
 	}
-	h.sendIP(dst, func(dstMAC packet.MAC) []byte {
+	oc := h.traceOrigin("tcp-rst", dst, in.DstPort, in.SrcPort, packet.ProtoTCP)
+	h.sendIPCtx(dst, oc, func(dstMAC packet.MAC) []byte {
 		return packet.BuildTCP(h.MAC(), dstMAC, ip, tcp, nil)
 	})
 }
 
-func (l *Listener) handleSYN(key connKey, tcp packet.TCP) {
+func (l *Listener) handleSYN(key connKey, tcp packet.TCP, tc trace.Context) {
+	now := l.host.sched.Now()
 	if l.closed {
+		tc.Drop(now, trace.DropNoSocket)
 		return
 	}
 	if len(l.halfDM) >= l.backlog {
 		l.synDropped++ // SYN-flood pressure: silently drop
 		l.host.emitTCP("syn-drop", int64(l.port))
+		tc.Drop(now, trace.DropSynBacklog)
 		return
 	}
+	tc.FinishTerminal(now)
 	h := l.host
 	c := &Conn{
 		host:       h,

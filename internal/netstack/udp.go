@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ddoshield/internal/packet"
+	"ddoshield/internal/telemetry/trace"
 )
 
 // UDPHandler receives inbound datagrams on a bound socket.
@@ -66,20 +67,26 @@ func (h *Host) sendUDP(srcPort uint16, dst packet.Addr, dstPort uint16, data []b
 	udp := packet.UDP{SrcPort: srcPort, DstPort: dstPort}
 	payload := make([]byte, len(data))
 	copy(payload, data)
-	h.sendIP(dst, func(dstMAC packet.MAC) []byte {
+	oc := h.traceOrigin("udp-tx", dst, srcPort, dstPort, packet.ProtoUDP)
+	h.sendIPCtx(dst, oc, func(dstMAC packet.MAC) []byte {
 		return packet.BuildUDP(h.MAC(), dstMAC, ip, udp, payload)
 	})
 }
 
-func (h *Host) handleUDP(ip packet.IPv4, payload []byte) {
+func (h *Host) handleUDP(ip packet.IPv4, payload []byte, tc trace.Context) {
+	now := h.sched.Now()
 	udp, data, err := packet.UnmarshalUDP(payload, ip.Src, ip.Dst, true)
 	if err != nil {
+		tc.Drop(now, trace.DropMalformed)
 		return
 	}
 	s, ok := h.udpSocks[udp.DstPort]
 	if !ok {
-		return // no listener: a real stack would emit ICMP port-unreachable
+		// No listener: a real stack would emit ICMP port-unreachable.
+		tc.Drop(now, trace.DropNoSocket)
+		return
 	}
+	tc.FinishTerminal(now)
 	s.rxDgrams++
 	s.rxBytes += uint64(len(data))
 	if s.handler != nil {

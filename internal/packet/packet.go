@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry/trace"
 )
 
 // Packet is a decoded view of one captured frame. Capture taps hand Packets
@@ -30,6 +31,12 @@ type Packet struct {
 	// Payload is the transport payload (TCP/UDP), or the IP payload for
 	// other protocols.
 	Payload []byte
+
+	// Trace is the frame's causal-trace context, set by context-aware taps
+	// (netsim.TapCtx consumers) after decoding; the zero value means the
+	// frame's flow was not sampled. DecodeInto and Release both reset it so
+	// a pooled Packet can never leak a stale TraceID into the next frame.
+	Trace trace.Context
 }
 
 // Decode dissects a raw frame captured at time t. Dissection is best-effort:

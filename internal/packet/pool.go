@@ -1,6 +1,10 @@
 package packet
 
-import "sync"
+import (
+	"sync"
+
+	"ddoshield/internal/telemetry/trace"
+)
 
 // pktPool recycles Packet structs for the capture hot path. A simulated DDoS
 // run decodes one Packet per captured frame at every tap; without pooling
@@ -25,8 +29,10 @@ func Acquire() *Packet {
 // is a use-after-free-style bug; see the contract on Acquire.
 func (p *Packet) Release() {
 	// Drop slice references so pooled packets do not pin frame buffers alive
-	// between captures.
+	// between captures, and clear the trace context so a recycled Packet
+	// can never inherit a stale TraceID.
 	p.Raw = nil
 	p.Payload = nil
+	p.Trace = trace.Context{}
 	pktPool.Put(p)
 }

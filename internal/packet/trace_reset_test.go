@@ -1,0 +1,58 @@
+package packet
+
+import (
+	"testing"
+
+	"ddoshield/internal/telemetry/trace"
+)
+
+// TestReleaseResetsTraceContext forces pool reuse and pins the guarantee
+// that a recycled Packet never carries the previous frame's trace context:
+// both Release and DecodeInto must clear it.
+func TestReleaseResetsTraceContext(t *testing.T) {
+	tr := trace.New(trace.Config{SampleRate: 1})
+	src, dst, ip, tcp, payload := benchFrameArgs()
+	frame := BuildTCP(src, dst, ip, tcp, payload)
+
+	p := Acquire()
+	if err := DecodeInto(p, 0, frame); err != nil {
+		t.Fatal(err)
+	}
+	p.Trace = tr.OriginKind(0, trace.Flow{Src: 1, Dst: 2, Proto: 6}, trace.KindAttack, "flood-syn", "bot")
+	if !p.Trace.Sampled() {
+		t.Fatal("setup: trace context not live")
+	}
+	p.Release()
+
+	// Drain the pool until the same struct comes back (sync.Pool gives no
+	// ordering guarantee); cap the attempts so the test cannot spin.
+	var reused *Packet
+	held := make([]*Packet, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		q := Acquire()
+		if q == p {
+			reused = q
+			break
+		}
+		held = append(held, q)
+	}
+	for _, q := range held {
+		q.Release()
+	}
+	if reused == nil {
+		t.Skip("pool never returned the released Packet; nothing to check")
+	}
+	if reused.Trace.Sampled() || reused.Trace != (trace.Context{}) {
+		t.Fatalf("recycled Packet kept a stale trace context: %+v", reused.Trace)
+	}
+
+	// DecodeInto must also reset a caller-assigned context.
+	reused.Trace = tr.OriginKind(0, trace.Flow{Src: 3, Dst: 4, Proto: 17}, trace.KindBenign, "udp-tx", "dev")
+	if err := DecodeInto(reused, 0, frame); err != nil {
+		t.Fatal(err)
+	}
+	if reused.Trace.Sampled() {
+		t.Fatal("DecodeInto kept a stale trace context")
+	}
+	reused.Release()
+}

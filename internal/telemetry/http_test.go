@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ddoshield/internal/sim"
+)
+
+// get issues one request against the live server's handler and returns the
+// response status, content type and body.
+func get(t *testing.T, h http.Handler, path string) (int, string, string) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+// TestLiveServerEmptySnapshots pins the before-first-Update contract: every
+// endpoint answers 204 No Content with its content type already set.
+func TestLiveServerEmptySnapshots(t *testing.T) {
+	s := NewLiveServer()
+	h := s.Handler()
+	cases := []struct {
+		path, contentType string
+	}{
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
+		{"/metrics.json", "application/json"},
+		{"/trace", "application/json"},
+	}
+	for _, c := range cases {
+		status, ct, body := get(t, h, c.path)
+		if status != http.StatusNoContent {
+			t.Errorf("%s before Update: status=%d, want 204", c.path, status)
+		}
+		if ct != c.contentType {
+			t.Errorf("%s: content-type=%q, want %q", c.path, ct, c.contentType)
+		}
+		if body != "" {
+			t.Errorf("%s: unexpected body %q", c.path, body)
+		}
+	}
+	if s.Updates() != 0 {
+		t.Fatalf("updates = %d before any Update", s.Updates())
+	}
+}
+
+// TestLiveServerServesSnapshots publishes a snapshot and checks each
+// endpoint returns 200 with the rendered content.
+func TestLiveServerServesSnapshots(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("frames_total", L("nic", "tserver/eth0"))
+	c.Add(42)
+	rec := NewRecorder(16)
+	rec.Emit(sim.Second, CatIDS, "alert", "ids", 7)
+
+	s := NewLiveServer()
+	s.Update(2*sim.Second, reg, rec)
+	if s.Updates() != 1 {
+		t.Fatalf("updates = %d, want 1", s.Updates())
+	}
+	h := s.Handler()
+
+	status, ct, body := get(t, h, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics: status=%d", status)
+	}
+	if ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics: content-type=%q", ct)
+	}
+	if !strings.Contains(body, `frames_total{nic="tserver/eth0"} 42`) {
+		t.Fatalf("/metrics body missing counter:\n%s", body)
+	}
+
+	status, ct, body = get(t, h, "/metrics.json")
+	if status != http.StatusOK || ct != "application/json" {
+		t.Fatalf("/metrics.json: status=%d content-type=%q", status, ct)
+	}
+	if !strings.Contains(body, `"frames_total"`) {
+		t.Fatalf("/metrics.json body missing counter:\n%s", body)
+	}
+
+	status, ct, body = get(t, h, "/trace")
+	if status != http.StatusOK || ct != "application/json" {
+		t.Fatalf("/trace: status=%d content-type=%q", status, ct)
+	}
+	if !strings.Contains(body, `"alert"`) {
+		t.Fatalf("/trace body missing event:\n%s", body)
+	}
+}
+
+// TestLiveServerUpdateRefreshesCache verifies handlers serve the latest
+// published snapshot, not the one rendered at first Update.
+func TestLiveServerUpdateRefreshesCache(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("ticks_total")
+	s := NewLiveServer()
+
+	c.Inc()
+	s.Update(sim.Second, reg, nil)
+	h := s.Handler()
+	_, _, body := get(t, h, "/metrics")
+	if !strings.Contains(body, "ticks_total 1") {
+		t.Fatalf("first snapshot:\n%s", body)
+	}
+
+	c.Add(9)
+	_, _, body = get(t, h, "/metrics")
+	if !strings.Contains(body, "ticks_total 1") {
+		t.Fatalf("cache must not move before Update:\n%s", body)
+	}
+
+	s.Update(2*sim.Second, reg, nil)
+	if s.Updates() != 2 {
+		t.Fatalf("updates = %d, want 2", s.Updates())
+	}
+	_, _, body = get(t, h, "/metrics")
+	if !strings.Contains(body, "ticks_total 10") {
+		t.Fatalf("second snapshot not served:\n%s", body)
+	}
+}

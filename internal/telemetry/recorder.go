@@ -82,6 +82,10 @@ type Recorder struct {
 	mu   sync.Mutex
 	buf  []TraceEvent
 	next uint64 // total events emitted; buf slot = seq % cap
+	// dropped counts ring wraparounds (events evicted before anyone read
+	// them); register it as telemetry_recorder_dropped_total so exports
+	// reveal when the retained window is shorter than the run.
+	dropped Counter
 }
 
 // NewRecorder returns a recorder holding up to capacity events
@@ -105,6 +109,7 @@ func (r *Recorder) Emit(t sim.Time, cat Category, name, actor string, value int6
 		r.buf = append(r.buf, ev)
 	} else {
 		r.buf[int(r.next%uint64(cap(r.buf)))] = ev
+		r.dropped.Inc()
 	}
 	r.next++
 	r.mu.Unlock()
@@ -118,6 +123,15 @@ func (r *Recorder) Emitted() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.next
+}
+
+// Dropped returns the counter of events evicted by ring wraparound, for
+// registration as telemetry_recorder_dropped_total. Nil on a nil recorder.
+func (r *Recorder) Dropped() *Counter {
+	if r == nil {
+		return nil
+	}
+	return &r.dropped
 }
 
 // Evicted reports how many events were pushed out of the ring.

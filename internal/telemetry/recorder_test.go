@@ -51,6 +51,41 @@ func TestRecorderWraparound(t *testing.T) {
 	}
 }
 
+// TestRecorderDroppedCounter pins the wraparound counter against capacity:
+// every emit past the ring size increments telemetry_recorder_dropped_total
+// by exactly one, and the counter tracks Evicted.
+func TestRecorderDroppedCounter(t *testing.T) {
+	const capacity, emitted = 8, 27
+	r := NewRecorder(capacity)
+	for i := 0; i < emitted; i++ {
+		r.Emit(sim.Time(i), CatNet, "tick", "c", int64(i))
+		want := uint64(0)
+		if i >= capacity {
+			want = uint64(i + 1 - capacity)
+		}
+		if got := r.Dropped().Value(); got != want {
+			t.Fatalf("after emit %d: dropped=%d, want %d", i, got, want)
+		}
+	}
+	if r.Dropped().Value() != emitted-capacity {
+		t.Fatalf("dropped = %d, want %d", r.Dropped().Value(), emitted-capacity)
+	}
+	if r.Dropped().Value() != r.Evicted() {
+		t.Fatalf("dropped %d != evicted %d", r.Dropped().Value(), r.Evicted())
+	}
+	reg := NewRegistry()
+	reg.RegisterCounter(r.Dropped(), "telemetry_recorder_dropped_total")
+	for _, s := range reg.Snapshot() {
+		if s.Name == "telemetry_recorder_dropped_total" {
+			if s.Value != float64(emitted-capacity) {
+				t.Fatalf("exported dropped = %v, want %d", s.Value, emitted-capacity)
+			}
+			return
+		}
+	}
+	t.Fatal("telemetry_recorder_dropped_total not exported")
+}
+
 func TestRecorderExactlyFull(t *testing.T) {
 	const capacity = 5
 	r := NewRecorder(capacity)

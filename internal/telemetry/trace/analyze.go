@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+
+	"ddoshield/internal/sim"
+)
+
+// HopStat aggregates every span sharing one hop name.
+type HopStat struct {
+	Name  string
+	Count int
+	Drops int
+	Total sim.Time
+	Min   sim.Time
+	Max   sim.Time
+}
+
+// Mean is the average span latency for the hop.
+func (h HopStat) Mean() sim.Time {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Total / sim.Time(h.Count)
+}
+
+// Breakdown computes the per-hop latency profile of a span set, sorted by
+// hop name for stable output.
+func Breakdown(spans []Span) []HopStat {
+	byName := make(map[string]*HopStat)
+	for _, s := range spans {
+		st := byName[s.Name]
+		if st == nil {
+			st = &HopStat{Name: s.Name, Min: s.Latency()}
+			byName[s.Name] = st
+		}
+		lat := s.Latency()
+		st.Count++
+		st.Total += lat
+		if lat < st.Min {
+			st.Min = lat
+		}
+		if lat > st.Max {
+			st.Max = lat
+		}
+		if s.Dropped() {
+			st.Drops++
+		}
+	}
+	out := make([]HopStat, 0, len(byName))
+	for _, st := range byName {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TraceSummary is the per-trace rollup: flow provenance from the root span,
+// end-to-end bounds, and the first drop cause (if any).
+type TraceSummary struct {
+	Trace  TraceID
+	Kind   Kind
+	Flow   Flow
+	Origin string // root span name
+	Start  sim.Time
+	End    sim.Time // max End over the trace's spans
+	Spans  int
+	Drop   DropCause // first discard in span-ID order; DropNone if delivered
+}
+
+// Latency is the trace's origin-to-last-event duration.
+func (t TraceSummary) Latency() sim.Time { return t.End - t.Start }
+
+// Delivered reports whether the trace ended without a discard.
+func (t TraceSummary) Delivered() bool { return t.Drop == DropNone }
+
+// Summaries rolls spans up per trace, sorted by trace ID. Traces whose
+// root span was evicted from the ring keep a zero Flow/Origin.
+func Summaries(spans []Span) []TraceSummary {
+	byTrace := make(map[TraceID]*TraceSummary)
+	firstDrop := make(map[TraceID]SpanID)
+	for _, s := range spans {
+		ts := byTrace[s.Trace]
+		if ts == nil {
+			ts = &TraceSummary{Trace: s.Trace, Kind: s.Kind, Start: s.Start, End: s.End}
+			byTrace[s.Trace] = ts
+		}
+		ts.Spans++
+		if s.Start < ts.Start {
+			ts.Start = s.Start
+		}
+		if s.End > ts.End {
+			ts.End = s.End
+		}
+		if s.Root() {
+			ts.Flow = s.Flow
+			ts.Origin = s.Name
+			ts.Start = s.Start
+		}
+		if s.Dropped() {
+			if prev, ok := firstDrop[s.Trace]; !ok || s.ID < prev {
+				firstDrop[s.Trace] = s.ID
+				ts.Drop = s.Drop
+			}
+		}
+	}
+	out := make([]TraceSummary, 0, len(byTrace))
+	for _, ts := range byTrace {
+		out = append(out, *ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Trace < out[j].Trace })
+	return out
+}
+
+// TopSlowest returns the n highest-latency traces, slowest first (ties
+// broken by trace ID for determinism).
+func TopSlowest(sums []TraceSummary, n int) []TraceSummary {
+	out := make([]TraceSummary, len(sums))
+	copy(out, sums)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Latency() != out[j].Latency() {
+			return out[i].Latency() > out[j].Latency()
+		}
+		return out[i].Trace < out[j].Trace
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// CriticalPath returns the chain of spans from a trace's root to its
+// latest-ending leaf: at each step it descends into the child whose
+// subtree ends last (ties broken by span ID). Returns nil when the trace
+// or its root span is absent.
+func CriticalPath(spans []Span, id TraceID) []Span {
+	children := make(map[SpanID][]Span)
+	var root *Span
+	for i := range spans {
+		s := spans[i]
+		if s.Trace != id {
+			continue
+		}
+		if s.Root() {
+			root = &spans[i]
+			continue
+		}
+		children[s.Parent] = append(children[s.Parent], s)
+	}
+	if root == nil {
+		return nil
+	}
+	// subtreeEnd memoizes the latest End reachable under each span.
+	var subtreeEnd func(s Span) sim.Time
+	memo := make(map[SpanID]sim.Time)
+	subtreeEnd = func(s Span) sim.Time {
+		if v, ok := memo[s.ID]; ok {
+			return v
+		}
+		end := s.End
+		for _, ch := range children[s.ID] {
+			if e := subtreeEnd(ch); e > end {
+				end = e
+			}
+		}
+		memo[s.ID] = end
+		return end
+	}
+	path := []Span{*root}
+	cur := *root
+	for {
+		kids := children[cur.ID]
+		if len(kids) == 0 {
+			return path
+		}
+		sort.Slice(kids, func(i, j int) bool { return kids[i].ID < kids[j].ID })
+		best := kids[0]
+		bestEnd := subtreeEnd(best)
+		for _, k := range kids[1:] {
+			if e := subtreeEnd(k); e > bestEnd {
+				best, bestEnd = k, e
+			}
+		}
+		path = append(path, best)
+		cur = best
+	}
+}
+
+// WriteChromeSpans renders spans as chrome://tracing "complete" events:
+// one timeline row (tid) per trace, span nesting shown by duration
+// containment. Load via chrome://tracing or https://ui.perfetto.dev.
+func WriteChromeSpans(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	for i, s := range spans {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString("\n{\"name\":")
+		bw.WriteString(strconv.Quote(s.Name))
+		bw.WriteString(",\"cat\":\"")
+		bw.WriteString(s.Kind.String())
+		bw.WriteString("\",\"ph\":\"X\",\"pid\":1,\"tid\":")
+		bw.WriteString(strconv.FormatUint(uint64(s.Trace), 10))
+		bw.WriteString(",\"ts\":")
+		bw.WriteString(strconv.FormatFloat(float64(s.Start)/1e3, 'f', 3, 64))
+		bw.WriteString(",\"dur\":")
+		bw.WriteString(strconv.FormatFloat(float64(s.Latency())/1e3, 'f', 3, 64))
+		bw.WriteString(",\"args\":{\"actor\":")
+		bw.WriteString(strconv.Quote(s.Actor))
+		if s.Root() {
+			bw.WriteString(",\"flow\":\"")
+			bw.Write(appendFlow(nil, s.Flow))
+			bw.WriteByte('"')
+		}
+		if s.Dropped() {
+			bw.WriteString(",\"drop\":\"")
+			bw.WriteString(s.Drop.String())
+			bw.WriteByte('"')
+		}
+		if s.Tag != "" {
+			bw.WriteString(",\"tag\":")
+			bw.WriteString(strconv.Quote(s.Tag))
+		}
+		bw.WriteString("}}")
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildSample makes two traces: trace 1 delivered over a forked path (the
+// critical path follows the slower branch), trace 2 dropped at the link.
+func buildSample() []Span {
+	return []Span{
+		{Trace: 1, ID: 1, Name: "flood-syn", Actor: "bot", Kind: KindAttack,
+			Flow: Flow{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Proto: 6}, Start: 0, End: 10},
+		{Trace: 1, ID: 2, Parent: 1, Name: "link", Actor: "a->b", Kind: KindAttack, Start: 0, End: 100},
+		{Trace: 1, ID: 3, Parent: 1, Name: "link", Actor: "a->c", Kind: KindAttack, Start: 0, End: 300},
+		{Trace: 1, ID: 4, Parent: 3, Name: "deliver", Actor: "srv", Kind: KindAttack, Start: 300, End: 350},
+		{Trace: 2, ID: 5, Name: "udp-tx", Actor: "dev", Kind: KindBenign,
+			Flow: Flow{Src: 9, Dst: 8, SrcPort: 7, DstPort: 6, Proto: 17}, Start: 50, End: 60},
+		{Trace: 2, ID: 6, Parent: 5, Name: "link", Actor: "a->b", Kind: KindBenign,
+			Start: 50, End: 80, Drop: DropQueueFull},
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	stats := Breakdown(buildSample())
+	if len(stats) != 4 {
+		t.Fatalf("got %d hop stats, want 4", len(stats))
+	}
+	// Sorted by name: deliver, flood-syn, link, udp-tx.
+	link := stats[2]
+	if link.Name != "link" || link.Count != 3 || link.Drops != 1 {
+		t.Fatalf("link stat: %+v", link)
+	}
+	if link.Min != 30 || link.Max != 300 || link.Mean() != (100+300+30)/3 {
+		t.Fatalf("link latency stats: %+v", link)
+	}
+}
+
+func TestSummariesAndTopSlowest(t *testing.T) {
+	sums := Summaries(buildSample())
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries, want 2", len(sums))
+	}
+	t1, t2 := sums[0], sums[1]
+	if t1.Trace != 1 || t1.Origin != "flood-syn" || !t1.Delivered() || t1.Latency() != 350 || t1.Spans != 4 {
+		t.Fatalf("trace 1 summary: %+v", t1)
+	}
+	if t2.Trace != 2 || t2.Drop != DropQueueFull || t2.Delivered() || t2.Latency() != 30 {
+		t.Fatalf("trace 2 summary: %+v", t2)
+	}
+	top := TopSlowest(sums, 1)
+	if len(top) != 1 || top[0].Trace != 1 {
+		t.Fatalf("TopSlowest: %+v", top)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	path := CriticalPath(buildSample(), 1)
+	if len(path) != 3 {
+		t.Fatalf("critical path has %d spans, want 3", len(path))
+	}
+	if path[0].ID != 1 || path[1].ID != 3 || path[2].ID != 4 {
+		t.Fatalf("critical path = %v,%v,%v want 1,3,4", path[0].ID, path[1].ID, path[2].ID)
+	}
+	if CriticalPath(buildSample(), 42) != nil {
+		t.Fatal("missing trace should yield nil path")
+	}
+}
+
+func TestWriteChromeSpans(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeSpans(&buf, buildSample()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"ph":"X"`, `"tid":1`, `"tid":2`, `"drop":"queue-full"`, `"flow":"0.0.0.1:3>0.0.0.2:4/6"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome export missing %s in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ddoshield/internal/sim"
+)
+
+// FlowString renders a flow as "src:sport>dst:dport/proto" with dotted-quad
+// addresses — the compact provenance form written on root-span lines.
+func FlowString(f Flow) string {
+	return string(appendFlow(make([]byte, 0, 48), f))
+}
+
+func appendIPv4(b []byte, a uint32) []byte {
+	b = strconv.AppendUint(b, uint64(a>>24&0xff), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(a>>16&0xff), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(a>>8&0xff), 10)
+	b = append(b, '.')
+	return strconv.AppendUint(b, uint64(a&0xff), 10)
+}
+
+func appendFlow(b []byte, f Flow) []byte {
+	b = appendIPv4(b, f.Src)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(f.SrcPort), 10)
+	b = append(b, '>')
+	b = appendIPv4(b, f.Dst)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(f.DstPort), 10)
+	b = append(b, '/')
+	return strconv.AppendUint(b, uint64(f.Proto), 10)
+}
+
+// ParseFlow inverts FlowString.
+func ParseFlow(s string) (Flow, error) {
+	var f Flow
+	var srcA, srcB, srcC, srcD, dstA, dstB, dstC, dstD, sport, dport, proto int
+	n, err := fmt.Sscanf(s, "%d.%d.%d.%d:%d>%d.%d.%d.%d:%d/%d",
+		&srcA, &srcB, &srcC, &srcD, &sport, &dstA, &dstB, &dstC, &dstD, &dport, &proto)
+	if err != nil || n != 11 {
+		return f, fmt.Errorf("trace: malformed flow %q", s)
+	}
+	f.Src = uint32(srcA)<<24 | uint32(srcB)<<16 | uint32(srcC)<<8 | uint32(srcD)
+	f.Dst = uint32(dstA)<<24 | uint32(dstB)<<16 | uint32(dstC)<<8 | uint32(dstD)
+	f.SrcPort = uint16(sport)
+	f.DstPort = uint16(dport)
+	f.Proto = uint8(proto)
+	return f, nil
+}
+
+// WriteSpans writes spans as one JSON object per line, in slice order.
+// Zero-valued optional fields (parent, flow, drop, tag) are omitted, and
+// field order is fixed, so equal span sets serialize byte-identically.
+func WriteSpans(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	var scratch []byte
+	for _, s := range spans {
+		bw.WriteString(`{"trace":`)
+		bw.WriteString(strconv.FormatUint(uint64(s.Trace), 10))
+		bw.WriteString(`,"span":`)
+		bw.WriteString(strconv.FormatUint(uint64(s.ID), 10))
+		if s.Parent != 0 {
+			bw.WriteString(`,"parent":`)
+			bw.WriteString(strconv.FormatUint(uint64(s.Parent), 10))
+		}
+		bw.WriteString(`,"name":`)
+		bw.WriteString(strconv.Quote(s.Name))
+		bw.WriteString(`,"actor":`)
+		bw.WriteString(strconv.Quote(s.Actor))
+		bw.WriteString(`,"kind":"`)
+		bw.WriteString(s.Kind.String())
+		bw.WriteByte('"')
+		if s.Parent == 0 {
+			bw.WriteString(`,"flow":"`)
+			scratch = appendFlow(scratch[:0], s.Flow)
+			bw.Write(scratch)
+			bw.WriteByte('"')
+		}
+		bw.WriteString(`,"start":`)
+		bw.WriteString(strconv.FormatInt(int64(s.Start), 10))
+		bw.WriteString(`,"end":`)
+		bw.WriteString(strconv.FormatInt(int64(s.End), 10))
+		if s.Drop != DropNone {
+			bw.WriteString(`,"drop":"`)
+			bw.WriteString(s.Drop.String())
+			bw.WriteByte('"')
+		}
+		if s.Tag != "" {
+			bw.WriteString(`,"tag":`)
+			bw.WriteString(strconv.Quote(s.Tag))
+		}
+		bw.WriteString("}\n")
+	}
+	return bw.Flush()
+}
+
+// wireSpan is the JSON shape WriteSpans emits, for read-back.
+type wireSpan struct {
+	Trace  uint64 `json:"trace"`
+	Span   uint64 `json:"span"`
+	Parent uint64 `json:"parent"`
+	Name   string `json:"name"`
+	Actor  string `json:"actor"`
+	Kind   string `json:"kind"`
+	Flow   string `json:"flow"`
+	Start  int64  `json:"start"`
+	End    int64  `json:"end"`
+	Drop   string `json:"drop"`
+	Tag    string `json:"tag"`
+}
+
+// ReadSpans parses WriteSpans output (JSONL). Blank lines are skipped.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var out []Span
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ws wireSpan
+		if err := json.Unmarshal(raw, &ws); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		s := Span{
+			Trace:  TraceID(ws.Trace),
+			ID:     SpanID(ws.Span),
+			Parent: SpanID(ws.Parent),
+			Name:   ws.Name,
+			Actor:  ws.Actor,
+			Kind:   ParseKind(ws.Kind),
+			Start:  sim.Time(ws.Start),
+			End:    sim.Time(ws.End),
+			Drop:   ParseDropCause(ws.Drop),
+			Tag:    ws.Tag,
+		}
+		if ws.Flow != "" {
+			f, err := ParseFlow(ws.Flow)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			s.Flow = f
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -20,11 +20,13 @@ import (
 	"ddoshield/internal/devices"
 	"ddoshield/internal/faults"
 	"ddoshield/internal/features"
+	"ddoshield/internal/ids"
 	"ddoshield/internal/netsim"
 	"ddoshield/internal/netstack"
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
 	"ddoshield/internal/telemetry"
+	"ddoshield/internal/telemetry/trace"
 )
 
 // Well-known testbed addresses inside the default 10.0.0.0/16 subnet,
@@ -97,6 +99,14 @@ type Config struct {
 	// TraceCapacity sizes the flight recorder's ring buffer (default
 	// telemetry.DefaultRecorderCapacity; negative disables recording).
 	TraceCapacity int
+	// TraceSampleRate enables causal packet tracing: the fraction of flows
+	// (selected by a deterministic hash of the 5-tuple, seeded by Seed)
+	// whose packets carry per-hop spans. 0 disables tracing entirely;
+	// rates >= 1 trace every flow.
+	TraceSampleRate float64
+	// TraceSpanCapacity bounds the tracer's finished-span ring (default
+	// trace.DefaultSpanCapacity).
+	TraceSpanCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -157,8 +167,11 @@ type Testbed struct {
 	devSups  []*container.Supervisor
 	churnGen map[*container.Container]int
 
-	reg *telemetry.Registry
-	rec *telemetry.Recorder
+	reg    *telemetry.Registry
+	rec    *telemetry.Recorder
+	tracer *trace.Tracer
+
+	idsUnits []*ids.Unit
 
 	churnRNG *sim.RNG
 	started  bool
@@ -185,6 +198,19 @@ func New(cfg Config) (*Testbed, error) {
 		tb.rec = telemetry.NewRecorder(traceCap)
 	}
 	tb.network.SetTelemetry(tb.reg, tb.rec)
+	if tb.rec != nil {
+		tb.reg.RegisterCounter(tb.rec.Dropped(), "telemetry_recorder_dropped_total")
+	}
+	if cfg.TraceSampleRate > 0 {
+		tb.tracer = trace.New(trace.Config{
+			Seed:         cfg.Seed,
+			SampleRate:   cfg.TraceSampleRate,
+			SpanCapacity: cfg.TraceSpanCapacity,
+			Classify:     classifyFlow,
+			Registry:     tb.reg,
+		})
+		tb.network.SetTracer(tb.tracer)
+	}
 	tb.runtime = container.NewRuntime(tb.network)
 	tb.sw = tb.network.NewSwitch("lan0")
 
@@ -345,6 +371,11 @@ func (tb *Testbed) Registry() *telemetry.Registry { return tb.reg }
 
 // Recorder exposes the flight recorder (nil when TraceCapacity < 0).
 func (tb *Testbed) Recorder() *telemetry.Recorder { return tb.rec }
+
+// Tracer exposes the causal packet tracer (nil unless Config.TraceSampleRate
+// is set; the trace API is nil-receiver safe, so callers may use the result
+// directly).
+func (tb *Testbed) Tracer() *trace.Tracer { return tb.tracer }
 
 // allContainers lists every container in creation order.
 func (tb *Testbed) allContainers() []*container.Container {
@@ -524,6 +555,17 @@ func (tb *Testbed) Summary() string {
 	if s := tb.injector.String(); s != "" {
 		fmt.Fprintf(&b, "faults       %s\n", s)
 	}
+	if tb.tracer != nil {
+		fmt.Fprintf(&b, "trace        finished=%d active=%d evicted=%d\n",
+			len(tb.tracer.Spans()), tb.tracer.Active(), tb.tracer.Evicted())
+	}
+	for _, u := range tb.idsUnits {
+		if d, ok := tb.DetectionLatency(u); ok {
+			fmt.Fprintf(&b, "detection    unit=%s latency=%s\n", u.Name(), d)
+		} else {
+			fmt.Fprintf(&b, "detection    unit=%s latency=n/a\n", u.Name())
+		}
+	}
 	return b.String()
 }
 
@@ -541,6 +583,63 @@ func (tb *Testbed) AddTap(tap netsim.Tap) {
 		return
 	}
 	tb.tserver.Link().AddTap(tap)
+}
+
+// AddTapCtx installs a trace-context-aware capture tap at the same
+// observation point AddTap uses, so sampled packets' causal chains extend
+// into the consumer (the IDS joins its window spans here).
+func (tb *Testbed) AddTapCtx(tap netsim.TapCtx) {
+	if tb.cfg.TapSwitch {
+		tb.sw.AddTapCtx(tap)
+		return
+	}
+	tb.tserver.Link().AddTapCtx(tap)
+}
+
+// AttachIDS wires a detection unit into the testbed's observation point via
+// its trace-aware tap and registers ids_detection_latency_seconds{unit=...}:
+// the gap between the first attack packet's origin and the unit's first
+// correct alert (-1 until both anchors exist). The unit also gains a
+// detection line in Summary.
+func (tb *Testbed) AttachIDS(u *ids.Unit) {
+	tb.idsUnits = append(tb.idsUnits, u)
+	tb.AddTapCtx(u.TapCtx())
+	tb.reg.RegisterGaugeFunc(func() float64 {
+		d, ok := tb.DetectionLatency(u)
+		if !ok {
+			return -1
+		}
+		return d.Seconds()
+	}, "ids_detection_latency_seconds", telemetry.L("unit", u.Name()))
+}
+
+// FirstAttackAt reports when the first attack packet left its origin: the
+// tracer's first KindAttack origin span when tracing is on, else the first
+// C2 attack interval's start. The second return is false before any attack.
+func (tb *Testbed) FirstAttackAt() (sim.Time, bool) {
+	if t, ok := tb.tracer.FirstAttackOrigin(); ok {
+		return t, true
+	}
+	iv := tb.c2.Intervals()
+	if len(iv) == 0 {
+		return 0, false
+	}
+	return iv[0].Start, true
+}
+
+// DetectionLatency reports the per-scenario detection latency for one
+// attached unit: first attack packet origin → the unit's first alert on a
+// window that truly contained attack traffic. False until both exist.
+func (tb *Testbed) DetectionLatency(u *ids.Unit) (time.Duration, bool) {
+	start, ok := tb.FirstAttackAt()
+	if !ok {
+		return 0, false
+	}
+	alert, ok := u.FirstCorrectAlert()
+	if !ok || alert < start {
+		return 0, false
+	}
+	return (alert - start).Duration(), true
 }
 
 // ScheduleAttack broadcasts one C2 command at the given offset from
@@ -593,4 +692,24 @@ func (tb *Testbed) Labeler() func(b *features.Basic) int {
 		}
 		return dataset.Benign
 	}
+}
+
+// classifyFlow is the tracer's flow-kind oracle, mirroring Labeler on the
+// trace.Flow 5-tuple: C2 traffic is KindC2, attacker/spoofed/UDP-at-TServer
+// traffic is KindAttack, everything else KindBenign. Flood engines tag
+// their origins KindAttack directly, so this mainly classifies netstack
+// origins (benign app flows, C2 sessions, scanner probes).
+func classifyFlow(f trace.Flow) trace.Kind {
+	src, dst := packet.AddrFromUint32(f.Src), packet.AddrFromUint32(f.Dst)
+	switch {
+	case src == addrC2 || dst == addrC2:
+		return trace.KindC2
+	case src == addrAttacker || dst == addrAttacker:
+		return trace.KindAttack
+	case DefaultSpoofRange.Contains(src) || DefaultSpoofRange.Contains(dst):
+		return trace.KindAttack
+	case f.Proto == packet.ProtoUDP && (src == addrTServer || dst == addrTServer):
+		return trace.KindAttack
+	}
+	return trace.KindBenign
 }
