@@ -97,6 +97,9 @@ type Spec struct {
 	Host netstack.HostConfig
 	// App is the hosted workload (may be nil for bare network containers).
 	App App
+	// Domain assigns the container's node to a PDES domain when the
+	// network is partitioned; ignored (everything is domain 0) otherwise.
+	Domain int
 }
 
 // Create provisions a container with its own node, NIC and network stack,
@@ -105,7 +108,7 @@ func (r *Runtime) Create(spec Spec, sw *netsim.Switch, link netsim.LinkConfig) (
 	if _, dup := r.byName[spec.Name]; dup {
 		return nil, fmt.Errorf("container %q already exists", spec.Name)
 	}
-	node := r.net.NewNode(spec.Name)
+	node := r.net.NewNodeInDomain(spec.Name, spec.Domain)
 	nic := node.AddNIC()
 	l := r.net.Connect(nic, sw.NewPort(), link)
 	host := netstack.NewHost(nic, spec.Host)
@@ -198,10 +201,16 @@ func (c *Container) Crashes() uint64 { return c.crashes }
 func (c *Container) Supervisor() *Supervisor { return c.sup }
 
 // emit records a lifecycle trace event in the network's flight recorder
-// (a no-op when none is attached).
+// (a no-op when none is attached). The timestamp is the container's own
+// domain clock, which in a partitioned run is the only "now" its events
+// may observe.
 func (c *Container) emit(event string, value int64) {
-	c.runtime.net.Recorder().Emit(c.runtime.net.Now(), telemetry.CatContainer, event, c.name, value)
+	c.runtime.net.Recorder().Emit(c.node.Scheduler().Now(), telemetry.CatContainer, event, c.name, value)
 }
+
+// Scheduler is the event queue the container's workload runs on (its
+// node's domain scheduler in a partitioned network).
+func (c *Container) Scheduler() *sim.Scheduler { return c.node.Scheduler() }
 
 // Start runs the hosted app. Starting a running container is a no-op. A
 // manual Start re-enables a supervisor that a manual Stop suspended.
@@ -213,7 +222,7 @@ func (c *Container) Start() {
 		c.restarts++
 	}
 	c.state = StateRunning
-	c.started = c.runtime.net.Now()
+	c.started = c.node.Scheduler().Now()
 	c.exitCrash = false
 	c.emit("start", int64(c.restarts))
 	c.link.SetUp(true)
@@ -256,7 +265,7 @@ func (c *Container) Kill() {
 
 func (c *Container) halt(crash bool) {
 	c.state = StateStopped
-	c.stopped = c.runtime.net.Now()
+	c.stopped = c.node.Scheduler().Now()
 	c.exitCrash = crash
 	if crash {
 		c.emit("crash", int64(c.crashes+1))

@@ -119,7 +119,7 @@ func (r *Runtime) Supervise(c *Container, cfg SupervisorConfig) *Supervisor {
 	if c.sup != nil {
 		c.sup.Detach()
 	}
-	s := &Supervisor{sched: r.net.Scheduler(), c: c, cfg: cfg.withDefaults()}
+	s := &Supervisor{sched: c.node.Scheduler(), c: c, cfg: cfg.withDefaults()}
 	c.sup = s
 	if s.cfg.ProbeInterval > 0 {
 		s.probeTicker = s.sched.Every(s.cfg.ProbeInterval, s.probe)
@@ -167,10 +167,11 @@ func (s *Supervisor) cancelPending() {
 	s.pending = sim.Event{}
 }
 
-// emit records a supervision trace event in the network's flight recorder.
+// emit records a supervision trace event in the network's flight recorder,
+// stamped with the supervised container's domain clock.
 func (s *Supervisor) emit(event string, value int64) {
 	net := s.c.runtime.net
-	net.Recorder().Emit(net.Now(), telemetry.CatSupervisor, event, s.c.name, value)
+	net.Recorder().Emit(s.sched.Now(), telemetry.CatSupervisor, event, s.c.name, value)
 }
 
 // noteExit handles a crash exit (Kill or unhealthy-kill).

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunPDESBenchQuick exercises the serial-vs-parallel benchmark at CI
+// scale: the report must carry every requested worker point and the
+// internal Summary cross-check (serial vs partitioned) must hold.
+func TestRunPDESBenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("PDES benchmark runs full campaigns")
+	}
+	sc := DefaultPDES()
+	sc.Devices = 24
+	sc.Groups = 4
+	sc.Domains = 5
+	sc.Duration = 5 * time.Second
+	rep, err := sc.RunPDESBench([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Serial.WallMS <= 0 || rep.Serial.Events == 0 {
+		t.Fatalf("serial point not measured: %+v", rep.Serial)
+	}
+	if len(rep.Parallel) != 2 {
+		t.Fatalf("got %d parallel points, want 2", len(rep.Parallel))
+	}
+	for _, pt := range rep.Parallel {
+		if pt.Domains != 5 {
+			t.Fatalf("parallel point ran with %d domains, want 5", pt.Domains)
+		}
+		if pt.Speedup <= 0 || pt.Events == 0 || pt.Epochs == 0 {
+			t.Fatalf("parallel point not measured: %+v", pt)
+		}
+	}
+}
+
+// TestHTTPFleetProfiles pins the benchmark fleet to HTTP-only workloads:
+// edge servers speak HTTP, so any video/FTP client in the fleet would
+// spend the run retrying refused connections.
+func TestHTTPFleetProfiles(t *testing.T) {
+	fleet := httpFleet()
+	if len(fleet) == 0 {
+		t.Fatal("empty fleet")
+	}
+	for _, p := range fleet {
+		if !p.HTTP || p.Video || p.FTP {
+			t.Fatalf("profile %q not HTTP-only: %+v", p.Kind, p)
+		}
+	}
+}

@@ -29,13 +29,36 @@ func fillWindow(e *Extractor, widx int64, n int) {
 
 // BenchmarkExtractorWindow measures closing one 1000-packet window:
 // ComputeStats over the reused scratch maps plus the emission itself. One
-// iteration = one window.
+// iteration = one window. The first window grows the packet buffer and
+// the scratch maps' bucket arrays; warming it before ResetTimer keeps
+// those one-time allocations out of the steady-state B/op figure.
 func BenchmarkExtractorWindow(b *testing.B) {
 	e := NewExtractor(time.Second, func(w *Window) {})
+	fillWindow(e, 0, 1000)
+	e.Flush()
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fillWindow(e, int64(i), 1000)
+		fillWindow(e, int64(i+1), 1000)
 		e.Flush()
+	}
+}
+
+// TestExtractorBenchZeroBytes runs the window benchmark through
+// testing.Benchmark and pins both allocation counters to exactly zero.
+// TestExtractorSteadyStateAllocs already covers allocs/op; this guards
+// bytes/op too, so a warmup regression (or a new per-window allocation
+// that AllocsPerRun's rounding might forgive) fails CI.
+func TestExtractorBenchZeroBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed guard is slow")
+	}
+	r := testing.Benchmark(BenchmarkExtractorWindow)
+	if a := r.AllocsPerOp(); a != 0 {
+		t.Fatalf("BenchmarkExtractorWindow allocs/op = %d, want 0", a)
+	}
+	if bb := r.AllocedBytesPerOp(); bb != 0 {
+		t.Fatalf("BenchmarkExtractorWindow bytes/op = %d, want 0", bb)
 	}
 }
 

@@ -4,12 +4,16 @@
 // learning Ethernet switch (the CSMA-segment analog the paper's topology
 // uses to join the Devs, the Attacker, the TServer and the IDS).
 //
-// All state advances on a single sim.Scheduler; the simulation is therefore
-// deterministic for a fixed seed and topology.
+// All state advances on a single sim.Scheduler — or, when the network is
+// built with NewPartitioned, on one scheduler per PDES domain with
+// cross-domain frames carried as conservative lookahead messages. Either
+// way the simulation is deterministic for a fixed seed and topology.
 package netsim
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
@@ -22,6 +26,11 @@ type Port interface {
 	// receive is invoked by the link when a frame finishes arriving; tc is
 	// the frame's trace context (zero for unsampled frames).
 	receive(raw []byte, tc trace.Context)
+	// scheduler is the event queue the port's owner executes on (the
+	// domain scheduler in partitioned networks, the global one otherwise).
+	scheduler() *sim.Scheduler
+	// domain is the owner's PDES domain (nil in serial networks).
+	domain() *sim.Domain
 	// String identifies the port for diagnostics.
 	String() string
 }
@@ -39,11 +48,16 @@ type TapCtx func(t sim.Time, raw []byte, tc trace.Context)
 // switch, and the MAC address allocator.
 type Network struct {
 	sched    *sim.Scheduler
+	engine   *sim.Engine // nil for serial networks
 	nodes    []*Node
 	links    []*Link
 	switches []*Switch
 	macSeq   uint64
 	nameSet  map[string]bool
+	// arrQs holds one delivery-normalization queue per scheduler frames
+	// can land on (one total for serial networks, one per domain when
+	// partitioned). See arrivalQueue.
+	arrQs map[*sim.Scheduler]*arrivalQueue
 
 	// reg/rec are the attached telemetry plane (both may be nil: every
 	// instrument works standalone and Recorder.Emit is nil-safe).
@@ -59,11 +73,58 @@ func New(sched *sim.Scheduler) *Network {
 	return &Network{sched: sched, nameSet: make(map[string]bool)}
 }
 
-// Scheduler exposes the simulation scheduler driving this network.
+// NewPartitioned creates an empty network driven by a conservative PDES
+// engine. Nodes and switches are placed with NewNodeInDomain /
+// NewSwitchInDomain; everything defaults to domain 0. After wiring the
+// topology, derive the engine lookahead from MinCrossDomainDelay.
+func NewPartitioned(e *sim.Engine) *Network {
+	return &Network{sched: e.Domain(0).Scheduler(), engine: e, nameSet: make(map[string]bool)}
+}
+
+// Engine exposes the PDES engine driving a partitioned network (nil for
+// serial networks built with New).
+func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// Scheduler exposes the simulation scheduler driving this network. In a
+// partitioned network this is domain 0's scheduler (the reference clock);
+// per-object scheduling must use the owning node's or switch's scheduler.
 func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 
-// Now reports the current simulated time.
+// Now reports the current simulated time (domain 0's clock when
+// partitioned).
 func (n *Network) Now() sim.Time { return n.sched.Now() }
+
+// domainFor maps a domain index to the engine's domain, clamping out-of-
+// range indices; serial networks always yield (nil, n.sched).
+func (n *Network) domainFor(idx int) (*sim.Domain, *sim.Scheduler) {
+	if n.engine == nil {
+		return nil, n.sched
+	}
+	if idx < 0 || idx >= n.engine.NumDomains() {
+		idx = 0
+	}
+	d := n.engine.Domain(idx)
+	return d, d.Scheduler()
+}
+
+// MinCrossDomainDelay reports the smallest propagation delay over links
+// whose endpoints live in different domains — the conservative lookahead
+// bound. ok is false when no link crosses a domain boundary (then any
+// positive lookahead is safe).
+func (n *Network) MinCrossDomainDelay() (sim.Time, bool) {
+	var min sim.Time
+	found := false
+	for _, l := range n.links {
+		d := l.dirs[0]
+		if d.fromDom != nil && d.fromDom != d.toDom {
+			if !found || l.cfg.Delay < min {
+				min = l.cfg.Delay
+				found = true
+			}
+		}
+	}
+	return min, found
+}
 
 // SetTelemetry attaches a metrics registry and flight recorder. Every
 // existing NIC, link and switch registers its counters immediately;
@@ -142,18 +203,27 @@ func (n *Network) registerSwitch(s *Switch) {
 	n.reg.RegisterCounter(&s.partitionDrops, "netsim_switch_partition_drops_total", l)
 }
 
-// emit records a flight-recorder event at the current simulated instant.
-func (n *Network) emit(cat telemetry.Category, name, actor string, value int64) {
-	n.rec.Emit(n.sched.Now(), cat, name, actor, value)
+// emit records a flight-recorder event. The caller supplies the instant
+// because in a partitioned network "now" is the emitting object's domain
+// clock, not the network-wide one.
+func (n *Network) emit(now sim.Time, cat telemetry.Category, name, actor string, value int64) {
+	n.rec.Emit(now, cat, name, actor, value)
 }
 
-// NewNode adds a named host node. Names must be unique.
+// NewNode adds a named host node in domain 0. Names must be unique.
 func (n *Network) NewNode(name string) *Node {
+	return n.NewNodeInDomain(name, 0)
+}
+
+// NewNodeInDomain adds a named host node assigned to the given PDES
+// domain. On a serial network the domain index is ignored.
+func (n *Network) NewNodeInDomain(name string, domain int) *Node {
 	if n.nameSet[name] {
 		name = fmt.Sprintf("%s-%d", name, len(n.nodes))
 	}
 	n.nameSet[name] = true
 	node := &Node{net: n, name: name}
+	node.dom, node.sched = n.domainFor(domain)
 	n.nodes = append(n.nodes, node)
 	return node
 }
@@ -173,9 +243,11 @@ func (n *Network) nextMAC() packet.MAC {
 // Node is a simulated host: a container-backed device, the attacker, the
 // target server or the IDS. A node owns one or more NICs.
 type Node struct {
-	net  *Network
-	name string
-	nics []*NIC
+	net   *Network
+	name  string
+	nics  []*NIC
+	dom   *sim.Domain // nil in serial networks
+	sched *sim.Scheduler
 }
 
 // Name returns the node's unique name.
@@ -183,6 +255,14 @@ func (nd *Node) Name() string { return nd.name }
 
 // Network returns the owning network.
 func (nd *Node) Network() *Network { return nd.net }
+
+// Scheduler is the event queue all of this node's state advances on: its
+// PDES domain scheduler in a partitioned network, the global one otherwise.
+// Host stacks and applications on the node must schedule here.
+func (nd *Node) Scheduler() *sim.Scheduler { return nd.sched }
+
+// Domain reports the node's PDES domain (nil in serial networks).
+func (nd *Node) Domain() *sim.Domain { return nd.dom }
 
 // AddNIC attaches a new NIC to the node.
 func (nd *Node) AddNIC() *NIC {
@@ -236,6 +316,9 @@ type NIC struct {
 
 var _ Port = (*NIC)(nil)
 
+func (c *NIC) scheduler() *sim.Scheduler { return c.node.sched }
+func (c *NIC) domain() *sim.Domain       { return c.node.dom }
+
 // MAC reports the NIC's hardware address.
 func (c *NIC) MAC() packet.MAC { return c.mac }
 
@@ -261,13 +344,13 @@ func (c *NIC) Send(raw []byte) { c.SendCtx(raw, trace.Context{}) }
 // the trace with DropUnattached.
 func (c *NIC) SendCtx(raw []byte, tc trace.Context) {
 	if c.link == nil {
-		tc.Drop(c.node.net.sched.Now(), trace.DropUnattached)
+		tc.Drop(c.node.sched.Now(), trace.DropUnattached)
 		return
 	}
 	c.txFrames.Inc()
 	c.txBytes.Add(uint64(len(raw)))
 	if tc.Sampled() {
-		now := c.node.net.sched.Now()
+		now := c.node.sched.Now()
 		hop := tc.Start(now, "nic-tx", c.name)
 		hop.Finish(now)
 		tc = hop
@@ -283,9 +366,9 @@ func (c *NIC) Stats() (rxFrames, rxBytes, txFrames, txBytes uint64) {
 func (c *NIC) receive(raw []byte, tc trace.Context) {
 	if c.ingress != nil && !c.ingress(raw) {
 		c.ingressDropped.Inc()
-		c.node.net.emit(telemetry.CatNet, "ingress-drop", c.name, int64(len(raw)))
+		now := c.node.sched.Now()
+		c.node.net.emit(now, telemetry.CatNet, "ingress-drop", c.name, int64(len(raw)))
 		if tc.Sampled() {
-			now := c.node.net.sched.Now()
 			tc.Start(now, "nic-rx", c.name).Drop(now, trace.DropIngressFilter)
 		}
 		return
@@ -293,7 +376,7 @@ func (c *NIC) receive(raw []byte, tc trace.Context) {
 	c.rxFrames.Inc()
 	c.rxBytes.Add(uint64(len(raw)))
 	if tc.Sampled() {
-		now := c.node.net.sched.Now()
+		now := c.node.sched.Now()
 		hop := tc.Start(now, "nic-rx", c.name)
 		hop.Finish(now)
 		tc = hop
@@ -303,7 +386,7 @@ func (c *NIC) receive(raw []byte, tc trace.Context) {
 	} else if c.handler != nil {
 		c.handler(raw)
 	} else {
-		tc.Drop(c.node.net.sched.Now(), trace.DropNoSocket)
+		tc.Drop(c.node.sched.Now(), trace.DropNoSocket)
 	}
 }
 
@@ -414,6 +497,7 @@ type Link struct {
 	taps    []Tap
 	ctxTaps []TapCtx
 	up      bool
+	idx     int // creation index; the structural delivery tie-break key
 }
 
 // queuedFrame is one drop-tail queue entry: the frame plus its trace
@@ -431,6 +515,22 @@ type direction struct {
 	queued int // bytes waiting (excluding the frame in transmission)
 	busy   bool
 
+	// sched is the sending port's scheduler: queueing, serialization and
+	// loss draws execute in the sender's domain. fromDom/toDom/toSched
+	// route the arrival — same domain via toSched.At, cross-domain via
+	// fromDom.Post (the conservative lookahead message path). fromDom is
+	// nil on serial networks.
+	sched   *sim.Scheduler
+	fromDom *sim.Domain
+	toDom   *sim.Domain
+	toSched *sim.Scheduler
+	// arrQ buffers this direction's deliveries at the receiver; arrSeq
+	// numbers them in send order (incremented in the sender's domain, so
+	// it is deterministic). Together with the link index they form the
+	// structural ordering key for same-instant deliveries.
+	arrQ   *arrivalQueue
+	arrSeq uint64
+
 	// Shared telemetry counters; Counters() aggregates the two
 	// directions' values into the legacy LinkStats view.
 	txFrames      telemetry.Counter
@@ -443,16 +543,38 @@ type direction struct {
 	inflightDrops telemetry.Counter
 }
 
-// Connect wires two ports with a duplex link.
+// Connect wires two ports with a duplex link. In a partitioned network a
+// link whose endpoints live in different domains becomes a cross-domain
+// channel; its propagation delay bounds the engine lookahead, and random
+// loss is rejected because a shared per-link RNG drawn from two domains
+// would break determinism.
 func (n *Network) Connect(a, b Port, cfg LinkConfig) *Link {
-	l := &Link{net: n, cfg: cfg.withDefaults(), ends: [2]Port{a, b}, up: true}
-	l.dirs[0] = &direction{link: l, from: 0, name: a.String() + "->" + b.String()}
-	l.dirs[1] = &direction{link: l, from: 1, name: b.String() + "->" + a.String()}
+	l := &Link{net: n, cfg: cfg.withDefaults(), ends: [2]Port{a, b}, up: true, idx: len(n.links)}
+	l.dirs[0] = &direction{
+		link: l, from: 0, name: a.String() + "->" + b.String(),
+		sched: a.scheduler(), fromDom: a.domain(), toDom: b.domain(), toSched: b.scheduler(),
+	}
+	l.dirs[1] = &direction{
+		link: l, from: 1, name: b.String() + "->" + a.String(),
+		sched: b.scheduler(), fromDom: b.domain(), toDom: a.domain(), toSched: a.scheduler(),
+	}
+	l.dirs[0].arrQ = n.arrivalQueueFor(l.dirs[0].toSched)
+	l.dirs[1].arrQ = n.arrivalQueueFor(l.dirs[1].toSched)
+	if l.crossDomain() && l.cfg.LossProb > 0 {
+		panic(fmt.Sprintf("netsim: random loss on cross-domain link %s is not supported in partitioned mode", l.dirs[0].name))
+	}
 	bindPort(a, l, 0)
 	bindPort(b, l, 1)
 	n.links = append(n.links, l)
 	n.registerLink(l)
 	return l
+}
+
+// crossDomain reports whether the link's endpoints execute in different
+// PDES domains.
+func (l *Link) crossDomain() bool {
+	d := l.dirs[0]
+	return d.fromDom != nil && d.fromDom != d.toDom
 }
 
 func bindPort(p Port, l *Link, side int) {
@@ -485,7 +607,14 @@ func (l *Link) Up() bool { return l.up }
 
 // SetImpairments installs (or, with the zero value, clears) runtime
 // impairments. Takes effect for frames transmitted after the call.
-func (l *Link) SetImpairments(im Impairments) { l.imp = im }
+// Impairments on cross-domain links are rejected in partitioned mode:
+// their RNG would be drawn from two domains concurrently.
+func (l *Link) SetImpairments(im Impairments) {
+	if im.Active() && l.crossDomain() {
+		panic(fmt.Sprintf("netsim: impairments on cross-domain link %s are not supported in partitioned mode", l.dirs[0].name))
+	}
+	l.imp = im
+}
 
 // Impairments returns the currently active impairment set.
 func (l *Link) Impairments() Impairments { return l.imp }
@@ -525,20 +654,21 @@ func (l *Link) serializationTime(n int) sim.Time {
 
 func (l *Link) send(from int, raw []byte, tc trace.Context) {
 	d := l.dirs[from]
+	now := d.sched.Now()
 	// The "link" span opens at enqueue, so it covers queueing delay plus
 	// serialization plus propagation — the full hop latency.
-	span := tc.Start(l.net.sched.Now(), "link", d.name)
+	span := tc.Start(now, "link", d.name)
 	if !l.up {
 		d.dropFrames.Inc()
-		l.net.emit(telemetry.CatNet, "queue-drop", d.name, int64(len(raw)))
-		span.Drop(l.net.sched.Now(), trace.DropLinkDown)
+		l.net.emit(now, telemetry.CatNet, "queue-drop", d.name, int64(len(raw)))
+		span.Drop(now, trace.DropLinkDown)
 		return
 	}
 	if d.busy {
 		if d.queued+len(raw) > l.cfg.QueueBytes {
 			d.dropFrames.Inc() // drop-tail: queue full
-			l.net.emit(telemetry.CatNet, "queue-drop", d.name, int64(len(raw)))
-			span.Drop(l.net.sched.Now(), trace.DropQueueFull)
+			l.net.emit(now, telemetry.CatNet, "queue-drop", d.name, int64(len(raw)))
+			span.Drop(now, trace.DropQueueFull)
 			return
 		}
 		d.queue = append(d.queue, queuedFrame{raw: raw, tc: span})
@@ -552,7 +682,7 @@ func (d *direction) transmit(raw []byte, tc trace.Context) {
 	l := d.link
 	d.busy = true
 	ser := l.serializationTime(len(raw))
-	sched := l.net.sched
+	sched := d.sched
 	// Transmitter frees after serialization; frame lands after propagation.
 	sched.At(sched.Now()+ser, func() {
 		d.txFrames.Inc()
@@ -569,7 +699,7 @@ func (d *direction) transmit(raw []byte, tc trace.Context) {
 	})
 	if l.cfg.LossProb > 0 && l.cfg.RNG != nil && l.cfg.RNG.Bool(l.cfg.LossProb) {
 		d.lossFrames.Inc()
-		l.net.emit(telemetry.CatNet, "loss", d.name, int64(len(raw)))
+		l.net.emit(sched.Now(), telemetry.CatNet, "loss", d.name, int64(len(raw)))
 		tc.Drop(sched.Now(), trace.DropLoss)
 		return
 	}
@@ -578,19 +708,19 @@ func (d *direction) transmit(raw []byte, tc trace.Context) {
 	if im := l.imp; im.RNG != nil && im.Active() {
 		if im.LossProb > 0 && im.RNG.Bool(im.LossProb) {
 			d.lossFrames.Inc()
-			l.net.emit(telemetry.CatNet, "loss", d.name, int64(len(raw)))
+			l.net.emit(sched.Now(), telemetry.CatNet, "loss", d.name, int64(len(raw)))
 			tc.Drop(sched.Now(), trace.DropLoss)
 			return
 		}
 		if im.CorruptProb > 0 && im.RNG.Bool(im.CorruptProb) {
 			raw = corruptedCopy(raw, im.RNG)
 			d.corruptFrames.Inc()
-			l.net.emit(telemetry.CatNet, "corrupt", d.name, int64(len(raw)))
+			l.net.emit(sched.Now(), telemetry.CatNet, "corrupt", d.name, int64(len(raw)))
 		}
 		if im.DupProb > 0 && im.RNG.Bool(im.DupProb) {
 			dup = true
 			d.dupFrames.Inc()
-			l.net.emit(telemetry.CatNet, "dup", d.name, int64(len(raw)))
+			l.net.emit(sched.Now(), telemetry.CatNet, "dup", d.name, int64(len(raw)))
 		}
 		if im.ReorderProb > 0 && im.RNG.Bool(im.ReorderProb) {
 			extra := im.ReorderDelay
@@ -599,7 +729,7 @@ func (d *direction) transmit(raw []byte, tc trace.Context) {
 			}
 			arrive += extra
 			d.reorderFrames.Inc()
-			l.net.emit(telemetry.CatNet, "reorder", d.name, int64(len(raw)))
+			l.net.emit(sched.Now(), telemetry.CatNet, "reorder", d.name, int64(len(raw)))
 		}
 	}
 	d.scheduleArrival(arrive, raw, tc)
@@ -610,26 +740,131 @@ func (d *direction) transmit(raw []byte, tc trace.Context) {
 	}
 }
 
+// scheduleArrival lands the frame at the receiving port at instant at. The
+// delivery event executes in the RECEIVER's domain: for a same-domain link
+// that is a plain scheduler insert; for a cross-domain link it rides the
+// engine's lookahead message path (arrive >= now + link delay >= the end
+// of the sender's current window, so Post's contract always holds).
+//
+// The event does not process the frame directly — it enqueues it on the
+// receiving scheduler's arrival queue, which drains in the tail phase of
+// the instant sorted by (link index, direction, send sequence). Without
+// this normalization, two frames arriving at the same instant from
+// different domains would be processed in engine merge order, while the
+// serial scheduler processes them in global scheduling order — and
+// order-sensitive receivers (switch MAC learning/eviction) would diverge
+// between the two execution modes.
 func (d *direction) scheduleArrival(at sim.Time, raw []byte, tc trace.Context) {
+	d.arrSeq++
+	seq := d.arrSeq
+	q := d.arrQ
+	fn := func() { q.add(arrival{dir: d, seq: seq, raw: raw, tc: tc}) }
+	if d.fromDom != nil && d.fromDom != d.toDom {
+		d.fromDom.Post(d.toDom, at, fn)
+	} else {
+		d.toSched.At(at, fn)
+	}
+}
+
+// deliver processes one frame at the receiving port, at the instant the
+// arrival queue drains.
+func (d *direction) deliver(raw []byte, tc trace.Context) {
 	l := d.link
-	sched := l.net.sched
-	to := l.ends[1-d.from]
-	sched.At(at, func() {
-		if !l.up {
-			d.inflightDrops.Inc()
-			l.net.emit(telemetry.CatNet, "inflight-drop", d.name, int64(len(raw)))
-			tc.Drop(sched.Now(), trace.DropInFlightCut)
-			return
-		}
-		tc.Finish(sched.Now())
-		for _, tap := range l.taps {
-			tap(sched.Now(), raw)
-		}
-		for _, tap := range l.ctxTaps {
-			tap(sched.Now(), raw, tc)
-		}
-		to.receive(raw, tc)
-	})
+	now := d.toSched.Now()
+	if !l.up {
+		d.inflightDrops.Inc()
+		l.net.emit(now, telemetry.CatNet, "inflight-drop", d.name, int64(len(raw)))
+		tc.Drop(now, trace.DropInFlightCut)
+		return
+	}
+	tc.Finish(now)
+	for _, tap := range l.taps {
+		tap(now, raw)
+	}
+	for _, tap := range l.ctxTaps {
+		tap(now, raw, tc)
+	}
+	l.ends[1-d.from].receive(raw, tc)
+}
+
+// arrival is one pending frame delivery awaiting the tail-phase drain.
+type arrival struct {
+	dir *direction
+	seq uint64
+	raw []byte
+	tc  trace.Context
+}
+
+// arrivalQueue buffers all frame deliveries landing on one scheduler at
+// the current instant and processes them in structural order — a function
+// of the topology (link creation index, direction, per-direction send
+// sequence), never of event scheduling order. Serial and partitioned
+// executions therefore process same-instant deliveries identically: the
+// serial network has a single queue spanning every link, a partitioned
+// network one queue per domain, and sorting the union equals sorting each
+// domain's subset because deliveries only touch receiver-local state.
+// The pending slice and its backing array are reused across instants, so
+// steady-state delivery stays allocation-free.
+type arrivalQueue struct {
+	sched   *sim.Scheduler
+	pending []arrival
+	armed   bool
+	drainFn sim.Handler // bound once so arming the drain never allocates
+}
+
+func newArrivalQueue(sched *sim.Scheduler) *arrivalQueue {
+	q := &arrivalQueue{sched: sched}
+	q.drainFn = q.drain
+	return q
+}
+
+// arrivalQueueFor returns the (lazily created) queue for the scheduler a
+// link direction delivers into. Called only during topology construction,
+// which is single-threaded.
+func (n *Network) arrivalQueueFor(sched *sim.Scheduler) *arrivalQueue {
+	if n.arrQs == nil {
+		n.arrQs = make(map[*sim.Scheduler]*arrivalQueue)
+	}
+	q := n.arrQs[sched]
+	if q == nil {
+		q = newArrivalQueue(sched)
+		n.arrQs[sched] = q
+	}
+	return q
+}
+
+func (q *arrivalQueue) add(a arrival) {
+	q.pending = append(q.pending, a)
+	if !q.armed {
+		q.armed = true
+		q.sched.AtTail(q.sched.Now(), q.drainFn)
+	}
+}
+
+func (q *arrivalQueue) drain() {
+	// The common case — one frame arriving at this scheduler this instant —
+	// needs no ordering at all; skip the sort machinery entirely.
+	if len(q.pending) > 1 {
+		slices.SortFunc(q.pending, func(a, b arrival) int {
+			if c := cmp.Compare(a.dir.link.idx, b.dir.link.idx); c != 0 {
+				return c
+			}
+			if c := cmp.Compare(a.dir.from, b.dir.from); c != 0 {
+				return c
+			}
+			return cmp.Compare(a.seq, b.seq)
+		})
+	}
+	// Deliveries may enqueue new arrivals only at strictly later instants
+	// (serialization and propagation delays are always positive), so the
+	// slice is stable while we walk it.
+	for i := range q.pending {
+		a := &q.pending[i]
+		a.dir.deliver(a.raw, a.tc)
+		q.pending[i] = arrival{}
+	}
+	q.pending = q.pending[:0]
+	q.armed = false
 }
 
 // corruptedCopy returns raw with one pseudo-randomly chosen bit flipped,

@@ -19,6 +19,8 @@ type Switch struct {
 	table   map[packet.MAC]*switchPort
 	taps    []Tap
 	ctxTaps []TapCtx
+	dom     *sim.Domain // nil in serial networks
+	sched   *sim.Scheduler
 
 	// Shared telemetry counters; Stats()/PartitionDrops() are adapters.
 	forwarded      telemetry.Counter
@@ -26,9 +28,16 @@ type Switch struct {
 	partitionDrops telemetry.Counter
 }
 
-// NewSwitch adds a named learning switch to the network.
+// NewSwitch adds a named learning switch to the network (domain 0).
 func (n *Network) NewSwitch(name string) *Switch {
+	return n.NewSwitchInDomain(name, 0)
+}
+
+// NewSwitchInDomain adds a named learning switch assigned to the given
+// PDES domain. On a serial network the domain index is ignored.
+func (n *Network) NewSwitchInDomain(name string, domain int) *Switch {
 	s := &Switch{net: n, name: name, table: make(map[packet.MAC]*switchPort)}
+	s.dom, s.sched = n.domainFor(domain)
 	n.switches = append(n.switches, s)
 	n.registerSwitch(s)
 	return s
@@ -36,6 +45,13 @@ func (n *Network) NewSwitch(name string) *Switch {
 
 // Name returns the switch name.
 func (s *Switch) Name() string { return s.name }
+
+// Scheduler is the event queue the switch relays frames on (its domain
+// scheduler in a partitioned network, the global one otherwise).
+func (s *Switch) Scheduler() *sim.Scheduler { return s.sched }
+
+// Domain reports the switch's PDES domain (nil in serial networks).
+func (s *Switch) Domain() *sim.Domain { return s.dom }
 
 // NewPort adds a port to the switch; wire it with Network.Connect.
 func (s *Switch) NewPort() Port {
@@ -106,6 +122,9 @@ var _ Port = (*switchPort)(nil)
 
 func (p *switchPort) String() string { return p.name }
 
+func (p *switchPort) scheduler() *sim.Scheduler { return p.sw.sched }
+func (p *switchPort) domain() *sim.Domain       { return p.sw.dom }
+
 func (p *switchPort) send(raw []byte, tc trace.Context) {
 	if p.link != nil {
 		p.link.send(p.side, raw, tc)
@@ -114,7 +133,7 @@ func (p *switchPort) send(raw []byte, tc trace.Context) {
 
 func (p *switchPort) receive(raw []byte, tc trace.Context) {
 	s := p.sw
-	now := s.net.sched.Now()
+	now := s.sched.Now()
 	eth, _, err := packet.UnmarshalEthernet(raw)
 	if err != nil {
 		tc.Start(now, "switch", p.name).Drop(now, trace.DropMalformed)
@@ -135,7 +154,7 @@ func (p *switchPort) receive(raw []byte, tc trace.Context) {
 			if out != p {
 				if out.group != p.group {
 					s.partitionDrops.Inc()
-					s.net.emit(telemetry.CatNet, "partition-drop", p.name, int64(len(raw)))
+					s.net.emit(now, telemetry.CatNet, "partition-drop", p.name, int64(len(raw)))
 					span.Drop(now, trace.DropPartition)
 					return
 				}

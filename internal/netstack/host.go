@@ -82,7 +82,7 @@ func NewHost(nic *netsim.NIC, cfg HostConfig) *Host {
 	}
 	h := &Host{
 		nic:       nic,
-		sched:     nic.Node().Network().Scheduler(),
+		sched:     nic.Node().Scheduler(),
 		cfg:       cfg,
 		name:      cfg.Addr.String(),
 		rng:       sim.Substream(cfg.Seed, "netstack/"+cfg.Addr.String()),

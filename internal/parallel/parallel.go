@@ -12,7 +12,10 @@ import (
 
 // Workers resolves a worker-count setting: n > 0 is used as-is, anything
 // else (the zero value of a config field) means one worker per available
-// CPU.
+// CPU. The CPU count is read at call time — GOMAXPROCS is re-queried on
+// every call rather than cached at init, so a runtime.GOMAXPROCS change
+// (or a container CPU-quota adjustment picked up by the runtime) is
+// reflected by the next call.
 func Workers(n int) int {
 	if n > 0 {
 		return n
@@ -21,10 +24,12 @@ func Workers(n int) int {
 }
 
 // For runs fn(i) for every i in [0, n) on at most workers goroutines.
-// workers is resolved through Workers, and with a single worker the loop
-// runs inline on the caller's goroutine — the forced-serial mode the
-// determinism regression tests compare against. fn must not share mutable
-// state across indices; write results to result[i].
+// workers is resolved through Workers and then clamped to n, so a call
+// with workers > n never spawns idle goroutines — For(2, 64, fn) starts
+// exactly two. With a single worker the loop runs inline on the caller's
+// goroutine in index order — the forced-serial mode the determinism
+// regression tests compare against. fn must not share mutable state
+// across indices; write results to result[i].
 func For(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return

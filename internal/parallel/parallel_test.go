@@ -18,6 +18,52 @@ func TestWorkersResolution(t *testing.T) {
 	}
 }
 
+// TestWorkersTracksGOMAXPROCS pins the call-time resolution contract:
+// Workers(0) follows runtime.GOMAXPROCS as it changes, rather than
+// caching the CPU count once at package init.
+func TestWorkersTracksGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	runtime.GOMAXPROCS(3)
+	if got := Workers(0); got != 3 {
+		t.Fatalf("Workers(0) = %d after GOMAXPROCS(3)", got)
+	}
+	runtime.GOMAXPROCS(old + 2)
+	if got := Workers(0); got != old+2 {
+		t.Fatalf("Workers(0) = %d after GOMAXPROCS(%d)", got, old+2)
+	}
+}
+
+// TestForClampsWorkersToN proves a workers count beyond n spawns no idle
+// goroutines: with every index parked inside fn, the goroutine count has
+// risen by n workers plus the For caller — not by the requested 64.
+func TestForClampsWorkersToN(t *testing.T) {
+	const n = 2
+	before := runtime.NumGoroutine()
+	arrived := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		For(n, 64, func(int) {
+			arrived <- struct{}{}
+			<-release
+		})
+		close(done)
+	}()
+	for i := 0; i < n; i++ {
+		<-arrived
+	}
+	added := runtime.NumGoroutine() - before
+	close(release)
+	<-done
+	// n workers + the goroutine calling For; allow a little slack for
+	// unrelated runtime goroutines, while still failing loudly if all 64
+	// requested workers had been spawned.
+	if added > n+3 {
+		t.Fatalf("For(%d, 64) added %d goroutines, want ~%d", n, added, n+1)
+	}
+}
+
 func TestForCoversEveryIndexOnce(t *testing.T) {
 	for _, workers := range []int{1, 2, 7, 64} {
 		const n = 100

@@ -1,0 +1,389 @@
+// Conservative parallel discrete-event engine (PDES).
+//
+// The Engine partitions a simulation into K Domains, each owning a private
+// Scheduler that advances on its own goroutine. Synchronization uses the
+// classic conservative-lookahead rule executed as synchronous epochs: with T
+// the global minimum next-event time and L the lookahead (the minimum
+// latency of any cross-domain interaction), every event in [T, T+L) is
+// causally independent of events outside its own domain, so all domains may
+// execute that window in parallel. Cross-domain effects travel as
+// timestamped messages that are buffered in per-domain outboxes during a
+// window and merged at the barrier in a deterministic order — (time, sender
+// domain index, per-domain sequence number) — so the interleaving of
+// messages from different domains never depends on goroutine scheduling.
+//
+// Determinism: for a fixed domain count K the engine produces bit-identical
+// results for any worker count, including the inline serial path, because
+// each domain's events execute sequentially in (time, seq) order and the
+// merge order is a pure function of message data. The worker count only
+// decides which OS thread runs a window, never what the window computes.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// maxLookahead bounds the lookahead so window arithmetic (T + lookahead)
+// can never overflow Time.
+const maxLookahead = Time(1) << 61
+
+// message is one pooled cross-domain event notice. The (at, from, seq)
+// triple is the deterministic merge key; fn runs on the receiving domain's
+// scheduler at instant at.
+type message struct {
+	at   Time
+	from int32  // sender domain index (merge tiebreak after time)
+	seq  uint64 // sender-local sequence (merge tiebreak after sender)
+	fn   Handler
+}
+
+// DomainStats is one domain's execution accounting, for telemetry.
+type DomainStats struct {
+	// Events is the total events the domain's scheduler has fired.
+	Events uint64
+	// BarrierWaits counts epoch barriers the domain participated in.
+	BarrierWaits uint64
+	// MsgsOut and MsgsIn count cross-domain messages sent and received.
+	MsgsOut uint64
+	MsgsIn  uint64
+	// HorizonLag is how far the domain's clock trailed the epoch frontier
+	// at the end of the last window (idle domains lag the most).
+	HorizonLag Time
+}
+
+// Domain is one partition of the simulated world: a private scheduler plus
+// the outboxes carrying its cross-domain sends. All objects assigned to a
+// domain must schedule exclusively on its Scheduler; the only legal
+// cross-domain interaction is Post.
+type Domain struct {
+	eng   *Engine
+	idx   int
+	sched *Scheduler
+
+	out    [][]*message // out[t]: messages for domain t, appended this window
+	free   []*message   // message pool (owner-only)
+	msgSeq uint64
+
+	// windowEnd is the exclusive end of the window the domain is currently
+	// (or was last) allowed to execute; Post validates against it.
+	windowEnd Time
+
+	msgsOut uint64
+	msgsIn  uint64
+	waits   uint64
+	lag     Time
+
+	err error // window panic captured by the worker goroutine
+}
+
+// Index reports the domain's stable index in [0, K).
+func (d *Domain) Index() int { return d.idx }
+
+// Scheduler returns the domain's private scheduler.
+func (d *Domain) Scheduler() *Scheduler { return d.sched }
+
+// Stats returns a snapshot of the domain's execution counters.
+func (d *Domain) Stats() DomainStats {
+	return DomainStats{
+		Events:       d.sched.Fired(),
+		BarrierWaits: d.waits,
+		MsgsOut:      d.msgsOut,
+		MsgsIn:       d.msgsIn,
+		HorizonLag:   d.lag,
+	}
+}
+
+func (d *Domain) allocMsg() *message {
+	if n := len(d.free); n > 0 {
+		m := d.free[n-1]
+		d.free[n-1] = nil
+		d.free = d.free[:n-1]
+		return m
+	}
+	return &message{}
+}
+
+// Post schedules fn at absolute instant at on domain to. It must be called
+// from within one of d's executing events (or before the engine runs), and
+// the target instant must respect the lookahead contract: at >= the end of
+// d's current window. netsim guarantees this structurally — every
+// cross-domain interaction traverses a link whose propagation delay is at
+// least the engine lookahead — so a violation is a model bug and panics.
+func (d *Domain) Post(to *Domain, at Time, fn Handler) {
+	if to == d {
+		d.sched.At(at, fn)
+		return
+	}
+	if at < d.windowEnd {
+		panic(fmt.Sprintf(
+			"sim: cross-domain post from domain %d to %d at %v violates lookahead window end %v",
+			d.idx, to.idx, at, d.windowEnd))
+	}
+	m := d.allocMsg()
+	m.at = at
+	m.from = int32(d.idx)
+	m.seq = d.msgSeq
+	m.fn = fn
+	d.msgSeq++
+	d.out[to.idx] = append(d.out[to.idx], m)
+	d.msgsOut++
+}
+
+// runWindow executes every local event strictly before end. windowEnd is
+// published first so Post can validate the lookahead contract while the
+// window's events run.
+func (d *Domain) runWindow(end Time) {
+	d.windowEnd = end
+	s := d.sched
+	for len(s.queue) > 0 && s.queue[0].at < end {
+		s.Step()
+	}
+	d.lag = end - 1 - s.now
+	if d.lag < 0 {
+		d.lag = 0
+	}
+	d.waits++
+}
+
+// Engine drives K domains through conservative epochs.
+type Engine struct {
+	domains   []*Domain
+	lookahead Time
+	epochs    uint64
+	stopped   atomic.Bool
+
+	inbox []*message // merge scratch, reused across epochs
+}
+
+// NewEngine builds an engine with k domains (k >= 1) and the given
+// lookahead. A lookahead of 0 is allowed at construction (topology builders
+// derive it from link delays afterwards) but must be set before Run.
+func NewEngine(k int, lookahead Time) *Engine {
+	if k < 1 {
+		k = 1
+	}
+	e := &Engine{}
+	e.SetLookahead(lookahead)
+	e.domains = make([]*Domain, k)
+	for i := range e.domains {
+		d := &Domain{eng: e, idx: i, sched: NewScheduler(), out: make([][]*message, k)}
+		e.domains[i] = d
+	}
+	return e
+}
+
+// NumDomains reports K.
+func (e *Engine) NumDomains() int { return len(e.domains) }
+
+// Domain returns the i-th domain.
+func (e *Engine) Domain(i int) *Domain { return e.domains[i] }
+
+// Lookahead reports the configured lookahead.
+func (e *Engine) Lookahead() Time { return e.lookahead }
+
+// SetLookahead sets the conservative window width: the minimum simulated
+// delay of any cross-domain interaction. Call before Run.
+func (e *Engine) SetLookahead(t Time) {
+	if t > maxLookahead {
+		t = maxLookahead
+	}
+	e.lookahead = t
+}
+
+// Epochs reports how many barrier epochs Run has executed so far.
+func (e *Engine) Epochs() uint64 { return e.epochs }
+
+// Stop halts a running engine at the next barrier. Safe to call from any
+// goroutine (e.g. a domain event deciding to end the run).
+func (e *Engine) Stop() { e.stopped.Store(true) }
+
+// Now reports the reference clock: domain 0's current time. Between Run
+// calls every domain clock agrees (all are advanced to the horizon).
+func (e *Engine) Now() Time { return e.domains[0].sched.Now() }
+
+// mergeOutboxes drains every domain's outboxes into the receivers' queues.
+// For each receiving domain the pending messages are ordered by (time,
+// sender domain index, sender sequence) before insertion, so the receiver's
+// scheduler sees one deterministic arrival order regardless of which worker
+// ran which window when. Messages recycle to their sender's pool — safe
+// here because merging happens only between epochs, when no domain runs.
+func (e *Engine) mergeOutboxes() {
+	for ti, target := range e.domains {
+		pending := e.inbox[:0]
+		for _, d := range e.domains {
+			if box := d.out[ti]; len(box) > 0 {
+				pending = append(pending, box...)
+				d.out[ti] = box[:0]
+			}
+		}
+		if len(pending) == 0 {
+			continue
+		}
+		slices.SortFunc(pending, func(a, b *message) int {
+			switch {
+			case a.at < b.at:
+				return -1
+			case a.at > b.at:
+				return 1
+			case a.from != b.from:
+				return int(a.from) - int(b.from)
+			case a.seq < b.seq:
+				return -1
+			default:
+				return 1
+			}
+		})
+		for i, m := range pending {
+			target.sched.At(m.at, m.fn)
+			m.fn = nil
+			e.domains[m.from].free = append(e.domains[m.from].free, m)
+			pending[i] = nil
+		}
+		target.msgsIn += uint64(len(pending))
+		e.inbox = pending[:0]
+	}
+}
+
+// minNextEvent reports the earliest pending event time across all domains.
+func (e *Engine) minNextEvent() (Time, bool) {
+	var min Time
+	ok := false
+	for _, d := range e.domains {
+		if len(d.sched.queue) == 0 {
+			continue
+		}
+		if at := d.sched.queue[0].at; !ok || at < min {
+			min = at
+			ok = true
+		}
+	}
+	return min, ok
+}
+
+// Run executes events until every domain's clock passes horizon (events at
+// exactly the horizon still fire), the queues drain, or Stop is called.
+// workers bounds concurrent window execution: <= 1 runs every window inline
+// on the caller's goroutine (the engine-overhead baseline), larger values
+// use one goroutine per domain gated by a worker semaphore. The results are
+// identical for every workers value; only wall-clock time differs.
+func (e *Engine) Run(horizon Time, workers int) error {
+	if e.lookahead <= 0 {
+		return errors.New("sim: engine lookahead must be positive (derive it from cross-domain link delays)")
+	}
+	if workers > len(e.domains) {
+		workers = len(e.domains)
+	}
+	e.stopped.Store(false)
+	if workers > 1 {
+		// The goroutine plumbing lives in its own frame so the serial path
+		// (and the steady-state fast path it guards) stays allocation-free.
+		if err := e.runParallel(horizon, workers); err != nil {
+			return err
+		}
+	} else {
+		for {
+			if e.stopped.Load() {
+				return ErrStopped
+			}
+			e.mergeOutboxes()
+			w, ok := e.nextWindow(horizon)
+			if !ok {
+				break
+			}
+			for _, d := range e.domains {
+				d.runWindow(w)
+			}
+			e.epochs++
+		}
+	}
+	for _, d := range e.domains {
+		if d.sched.now < horizon {
+			d.sched.now = horizon
+		}
+	}
+	return nil
+}
+
+// nextWindow merges nothing; it derives the epoch window (exclusive end)
+// from the earliest pending event and the lookahead, capped at horizon+1 so
+// events at exactly the horizon still fire. ok is false when no event at or
+// before the horizon remains.
+func (e *Engine) nextWindow(horizon Time) (Time, bool) {
+	t, ok := e.minNextEvent()
+	if !ok || t > horizon {
+		return 0, false
+	}
+	w := horizon + 1
+	if e.lookahead < w-t {
+		w = t + e.lookahead
+	}
+	return w, true
+}
+
+// runParallel is the epoch loop with one persistent goroutine per domain,
+// gated by a semaphore of `workers` execution slots. Worker panics (model
+// bugs like cross-domain scheduling) are captured and surfaced as errors
+// after the barrier.
+func (e *Engine) runParallel(horizon Time, workers int) error {
+	k := len(e.domains)
+	var wg sync.WaitGroup
+	windowCh := make([]chan Time, k)
+	done := make(chan struct{})
+	defer close(done)
+	sem := make(chan struct{}, workers)
+	for i := range e.domains {
+		windowCh[i] = make(chan Time, 1)
+		go func(d *Domain, win <-chan Time) {
+			for {
+				select {
+				case <-done:
+					return
+				case w := <-win:
+					sem <- struct{}{}
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								d.err = fmt.Errorf("sim: domain %d window panic: %v", d.idx, r)
+							}
+						}()
+						d.runWindow(w)
+					}()
+					<-sem
+					wg.Done()
+				}
+			}
+		}(e.domains[i], windowCh[i])
+	}
+	for {
+		if e.stopped.Load() {
+			return ErrStopped
+		}
+		e.mergeOutboxes()
+		w, ok := e.nextWindow(horizon)
+		if !ok {
+			return nil
+		}
+		wg.Add(k)
+		for i := range windowCh {
+			windowCh[i] <- w
+		}
+		wg.Wait()
+		for _, d := range e.domains {
+			if d.err != nil {
+				err := d.err
+				d.err = nil
+				return err
+			}
+		}
+		e.epochs++
+	}
+}
+
+// RunFor executes events for d of simulated time past the reference clock.
+func (e *Engine) RunFor(dur Time, workers int) error {
+	return e.Run(e.Now()+dur, workers)
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// buildPDESModel assembles a synthetic K-domain workload: every domain runs
+// a self-rescheduling local event stream off its own RNG substream and
+// periodically posts work into the next domain (ring topology), always at
+// least lookahead ahead. Each domain appends to its own log, so the
+// concatenated logs capture exactly what executed, when, and in what order.
+func buildPDESModel(k int, lookahead Time, horizon Time) (*Engine, [][]int64) {
+	e := NewEngine(k, lookahead)
+	logs := make([][]int64, k)
+	for i := 0; i < k; i++ {
+		i := i
+		d := e.Domain(i)
+		next := e.Domain((i + 1) % k)
+		rng := Substream(1234, fmt.Sprintf("pdes-test/%d", i))
+		var tick Handler
+		tick = func() {
+			now := d.Scheduler().Now()
+			logs[i] = append(logs[i], int64(now)<<4|int64(i))
+			if rng.Bool(0.3) {
+				at := now + lookahead + Time(rng.Intn(int(lookahead)))
+				j := i
+				d.Post(next, at, func() {
+					nd := next.Scheduler().Now()
+					logs[next.idx] = append(logs[next.idx], int64(nd)<<4|int64(8+j))
+				})
+			}
+			if again := now + Time(1+rng.Intn(int(lookahead/2+1))); again <= horizon {
+				d.Scheduler().At(again, tick)
+			}
+		}
+		d.Scheduler().At(Time(i), tick)
+	}
+	return e, logs
+}
+
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	const (
+		k        = 4
+		la       = Time(50)
+		horizon  = Time(20_000)
+		baseline = 1
+	)
+	run := func(workers int) ([][]int64, []uint64, uint64) {
+		e, logs := buildPDESModel(k, la, horizon)
+		if err := e.Run(horizon, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		fired := make([]uint64, k)
+		for i := range fired {
+			fired[i] = e.Domain(i).Scheduler().Fired()
+			if got := e.Domain(i).Scheduler().Now(); got != horizon {
+				t.Fatalf("workers=%d domain %d clock = %v, want %v", workers, i, got, horizon)
+			}
+		}
+		return logs, fired, e.Epochs()
+	}
+	wantLogs, wantFired, wantEpochs := run(baseline)
+	for _, w := range []int{2, 4, 8} {
+		logs, fired, epochs := run(w)
+		if !reflect.DeepEqual(logs, wantLogs) {
+			t.Fatalf("workers=%d: execution log diverged from serial", w)
+		}
+		if !reflect.DeepEqual(fired, wantFired) {
+			t.Fatalf("workers=%d: fired counts %v, want %v", w, fired, wantFired)
+		}
+		if epochs != wantEpochs {
+			t.Fatalf("workers=%d: epochs %d, want %d", w, epochs, wantEpochs)
+		}
+	}
+	var total int
+	for _, l := range wantLogs {
+		total += len(l)
+	}
+	if total < 1000 {
+		t.Fatalf("model too small to be meaningful: %d events", total)
+	}
+}
+
+// TestEngineMergeOrder pins the deterministic merge rule: same-instant
+// cross-domain messages execute ordered by sender domain index, then by
+// each sender's posting sequence.
+func TestEngineMergeOrder(t *testing.T) {
+	e := NewEngine(3, 10)
+	var got []string
+	deliver := func(tag string) Handler { return func() { got = append(got, tag) } }
+	// Post from domains 2 and 1 (reverse index order, interleaved seq) for
+	// the same arrival instant; add a later instant to check time ordering.
+	e.Domain(2).Post(e.Domain(0), 100, deliver("d2s0"))
+	e.Domain(1).Post(e.Domain(0), 100, deliver("d1s0"))
+	e.Domain(2).Post(e.Domain(0), 100, deliver("d2s1"))
+	e.Domain(1).Post(e.Domain(0), 50, deliver("d1-early"))
+	if err := e.Run(200, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"d1-early", "d1s0", "d2s0", "d2s1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge order = %v, want %v", got, want)
+	}
+}
+
+func TestEnginePostViolationPanics(t *testing.T) {
+	e := NewEngine(2, 100)
+	e.Domain(0).Scheduler().At(0, func() {
+		e.Domain(0).Post(e.Domain(1), 10, func() {}) // < window end: must panic
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lookahead violation did not panic")
+		}
+	}()
+	_ = e.Run(1000, 1)
+}
+
+func TestEngineParallelWindowPanicReported(t *testing.T) {
+	e := NewEngine(2, 100)
+	e.Domain(1).Scheduler().At(5, func() { panic("boom") })
+	err := e.Run(1000, 2)
+	if err == nil {
+		t.Fatal("want error from panicking window")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(2, 10)
+	d := e.Domain(0)
+	var tick Handler
+	tick = func() { d.Scheduler().After(time.Nanosecond, tick) }
+	d.Scheduler().At(0, tick)
+	d.Scheduler().At(500, func() { e.Stop() })
+	if err := e.Run(1_000_000, 1); !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestEngineRequiresLookahead(t *testing.T) {
+	e := NewEngine(2, 0)
+	if err := e.Run(100, 1); err == nil {
+		t.Fatal("Run with zero lookahead should fail")
+	}
+}
+
+// TestEngineMultiRun checks messages in flight across a Run boundary are
+// neither lost nor reordered: a ping-pong spanning two RunFor calls ends
+// with the same totals as one long run.
+func TestEngineMultiRun(t *testing.T) {
+	build := func() (*Engine, *int) {
+		e := NewEngine(2, 25)
+		n := new(int)
+		var ping, pong Handler
+		ping = func() {
+			*n++
+			e.Domain(0).Post(e.Domain(1), e.Domain(0).Scheduler().Now()+25, pong)
+		}
+		pong = func() {
+			*n++
+			e.Domain(1).Post(e.Domain(0), e.Domain(1).Scheduler().Now()+25, ping)
+		}
+		e.Domain(0).Scheduler().At(0, ping)
+		return e, n
+	}
+	one, n1 := build()
+	if err := one.Run(10_000, 1); err != nil {
+		t.Fatal(err)
+	}
+	two, n2 := build()
+	if err := two.Run(4_987, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := two.Run(10_000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if *n1 != *n2 || *n1 == 0 {
+		t.Fatalf("split run executed %d events, single run %d", *n2, *n1)
+	}
+}
+
+// TestEngineCrossDomainMessageAllocFree guards the acceptance criterion:
+// the steady-state cross-domain fast path — Post (pooled message, reused
+// outbox), barrier merge (reused scratch, pooled scheduler nodes), delivery
+// — performs zero allocations per message.
+func TestEngineCrossDomainMessageAllocFree(t *testing.T) {
+	e := NewEngine(2, 25)
+	var ping, pong Handler
+	ping = func() {
+		e.Domain(0).Post(e.Domain(1), e.Domain(0).Scheduler().Now()+25, pong)
+	}
+	pong = func() {
+		e.Domain(1).Post(e.Domain(0), e.Domain(1).Scheduler().Now()+25, ping)
+	}
+	e.Domain(0).Scheduler().At(0, ping)
+	// Warm pools: message structs, outbox slices, scheduler nodes, scratch.
+	if err := e.RunFor(10_000, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := e.RunFor(1_000, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cross-domain message path allocated %.1f/op, want 0", allocs)
+	}
+	st0, st1 := e.Domain(0).Stats(), e.Domain(1).Stats()
+	if st0.MsgsOut == 0 || st0.MsgsOut != st1.MsgsIn || st1.MsgsOut != st0.MsgsIn {
+		t.Fatalf("message accounting inconsistent: %+v %+v", st0, st1)
+	}
+}
+
+func TestEngineIdleDomains(t *testing.T) {
+	e := NewEngine(4, 10)
+	fired := 0
+	e.Domain(0).Scheduler().At(7, func() { fired++ })
+	if err := e.Run(100, 4); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	for i := 0; i < 4; i++ {
+		if now := e.Domain(i).Scheduler().Now(); now != 100 {
+			t.Fatalf("domain %d clock %v, want 100", i, now)
+		}
+	}
+}

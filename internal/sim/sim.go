@@ -51,12 +51,13 @@ type Handler func()
 // is bumped on every recycle so stale Event handles can detect that the node
 // they point at no longer belongs to them.
 type node struct {
-	s   *Scheduler
-	at  Time
-	seq uint64 // FIFO tiebreak for same-instant events
-	id  uint64 // generation; incremented when the node is released
-	idx int    // heap index; -1 while on the free list
-	fn  Handler
+	s    *Scheduler
+	at   Time
+	seq  uint64 // FIFO tiebreak for same-instant events
+	id   uint64 // generation; incremented when the node is released
+	idx  int    // heap index; -1 while on the free list
+	tail bool   // tail-phase event: fires after every normal event at `at`
+	fn   Handler
 }
 
 // Event is a by-value handle to a scheduled callback. The zero Event is
@@ -150,6 +151,7 @@ func (s *Scheduler) release(nd *node) {
 	nd.id++
 	nd.fn = nil
 	nd.idx = -1
+	nd.tail = false
 	s.free = append(s.free, nd)
 }
 
@@ -163,6 +165,29 @@ func (s *Scheduler) At(t Time, fn Handler) Event {
 	nd := s.alloc()
 	nd.at = t
 	nd.seq = s.seq
+	nd.fn = fn
+	s.seq++
+	s.push(nd)
+	return Event{n: nd, id: nd.id, at: t}
+}
+
+// AtTail schedules fn to run at instant t in the *tail phase*: after every
+// normal event scheduled for t, regardless of scheduling order. Tail events
+// at the same instant fire in scheduling order among themselves. This is the
+// hook order-normalizing stages hang off — netsim drains its buffered frame
+// deliveries from a tail event, so same-instant deliveries execute in a
+// canonical structural order rather than in (execution-mode-dependent)
+// scheduling order. A normal event scheduled for t *while the tail phase of
+// t is already running* fires after the currently-running tail handler, in
+// scheduling order relative to other such late arrivals.
+func (s *Scheduler) AtTail(t Time, fn Handler) Event {
+	if t < s.now {
+		t = s.now
+	}
+	nd := s.alloc()
+	nd.at = t
+	nd.seq = s.seq
+	nd.tail = true
 	nd.fn = fn
 	s.seq++
 	s.push(nd)
@@ -250,6 +275,9 @@ func (s *Scheduler) Drain() {
 func nodeLess(a, b *node) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.tail != b.tail {
+		return !a.tail
 	}
 	return a.seq < b.seq
 }

@@ -38,6 +38,61 @@ func TestSchedulerSameInstantFIFO(t *testing.T) {
 	}
 }
 
+func TestSchedulerAtTailFiresAfterNormalEvents(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	// Interleave tail and normal scheduling at the same instant: the tail
+	// events must fire last regardless of when they were scheduled, and in
+	// FIFO order among themselves.
+	s.AtTail(Second, func() { order = append(order, "tail-0") })
+	s.At(Second, func() { order = append(order, "norm-0") })
+	s.AtTail(Second, func() { order = append(order, "tail-1") })
+	s.At(Second, func() {
+		order = append(order, "norm-1")
+		// A tail event scheduled from inside a normal event at the same
+		// instant still lands in the tail phase of that instant.
+		s.AtTail(Second, func() { order = append(order, "tail-2") })
+	})
+	// A later instant must fire after every phase of the earlier one.
+	s.At(2*Second, func() { order = append(order, "next") })
+	s.Drain()
+	want := []string{"norm-0", "norm-1", "tail-0", "tail-1", "tail-2", "next"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulerAtTailPastClampsAndCancels(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.At(2*Second, func() {
+		ev := s.AtTail(Second, func() {})
+		if ev.At() != 2*Second {
+			t.Errorf("past tail event scheduled at %v, want clamp to now (2s)", ev.At())
+		}
+	})
+	ev := s.AtTail(3*Second, func() { fired = true })
+	ev.Cancel()
+	s.Drain()
+	if fired {
+		t.Fatal("cancelled tail event fired")
+	}
+	// Pooled node reuse must clear the tail flag: the next normal event
+	// allocated from the free list must not inherit tail-phase ordering.
+	var order []string
+	s.AtTail(5*Second, func() { order = append(order, "tail") })
+	s.At(5*Second, func() { order = append(order, "norm") })
+	s.Drain()
+	if len(order) != 2 || order[0] != "norm" || order[1] != "tail" {
+		t.Fatalf("after node reuse, order = %v, want [norm tail]", order)
+	}
+}
+
 func TestSchedulerClockAdvancesToEventTime(t *testing.T) {
 	s := NewScheduler()
 	var at Time

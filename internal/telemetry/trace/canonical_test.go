@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// scrambleIDs renumbers a span set the way a differently-interleaved run
+// would: trace IDs permuted, span IDs reassigned in a different global
+// order, parents remapped consistently, slice order shuffled
+// deterministically.
+func scrambleIDs(spans []Span) []Span {
+	traceMap := map[TraceID]TraceID{}
+	spanMap := map[SpanID]SpanID{}
+	nextSpan := SpanID(1000)
+	// Walk back-to-front so allocation order differs from the original.
+	out := make([]Span, 0, len(spans))
+	for i := len(spans) - 1; i >= 0; i-- {
+		s := spans[i]
+		if _, ok := traceMap[s.Trace]; !ok {
+			traceMap[s.Trace] = TraceID(500 + len(traceMap)*7)
+		}
+		if _, ok := spanMap[s.ID]; !ok {
+			nextSpan += 13
+			spanMap[s.ID] = nextSpan
+		}
+		out = append(out, s)
+	}
+	for i := range out {
+		out[i].Trace = traceMap[out[i].Trace]
+		out[i].ID = spanMap[out[i].ID]
+		if out[i].Parent != 0 {
+			out[i].Parent = spanMap[out[i].Parent]
+		}
+	}
+	return out
+}
+
+func TestCanonicalSpansInvariantUnderRenumbering(t *testing.T) {
+	// Two traces; the second fans out (a flooded frame) so sibling order
+	// matters. IDs are intentionally sparse and interleaved.
+	spans := []Span{
+		{Trace: 3, ID: 31, Name: "origin", Actor: "a", Kind: KindAttack, Flow: Flow{Src: 1, Dst: 2, Proto: 6}, Start: 100, End: 100},
+		{Trace: 3, ID: 34, Parent: 31, Name: "link", Actor: "x->y", Start: 100, End: 140},
+		{Trace: 7, ID: 32, Name: "origin", Actor: "b", Kind: KindBenign, Flow: Flow{Src: 5, Dst: 6, Proto: 17}, Start: 50, End: 50},
+		{Trace: 7, ID: 33, Parent: 32, Name: "switch", Actor: "sw/p0", Start: 90, End: 90},
+		{Trace: 7, ID: 36, Parent: 33, Name: "link", Actor: "sw->n1", Start: 90, End: 130},
+		{Trace: 7, ID: 35, Parent: 33, Name: "link", Actor: "sw->n2", Start: 90, End: 120},
+		{Trace: 7, ID: 38, Parent: 36, Name: "nic-rx", Actor: "n1/eth0", Start: 130, End: 130},
+	}
+	var a, b bytes.Buffer
+	if err := WriteSpans(&a, CanonicalSpans(spans)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSpans(&b, CanonicalSpans(scrambleIDs(spans))); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("canonical output differs:\n--- a ---\n%s--- b ---\n%s", a.String(), b.String())
+	}
+	// Traces must be ordered by origin start: the Start=50 benign trace first.
+	canon := CanonicalSpans(spans)
+	if canon[0].Start != 50 || canon[0].Trace != 1 || canon[0].ID != 1 {
+		t.Fatalf("canonical head = %+v, want the t=50 origin renumbered to trace 1 span 1", canon[0])
+	}
+	// Sibling link spans sort structurally (End 120 before End 130).
+	var ends []int64
+	for _, s := range canon {
+		if s.Name == "link" && s.Trace == 1 {
+			ends = append(ends, int64(s.End))
+		}
+	}
+	if len(ends) != 2 || ends[0] != 120 {
+		t.Fatalf("sibling order = %v, want [120 ...]", ends)
+	}
+}
+
+func TestCanonicalSpansOrphanBecomesRoot(t *testing.T) {
+	spans := []Span{
+		{Trace: 1, ID: 2, Parent: 99, Name: "link", Actor: "x->y", Start: 10, End: 20},
+	}
+	canon := CanonicalSpans(spans)
+	if len(canon) != 1 || canon[0].Parent != 0 || canon[0].ID != 1 {
+		t.Fatalf("orphan = %+v, want root with Parent 0, ID 1", canon[0])
+	}
+}

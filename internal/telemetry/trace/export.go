@@ -2,10 +2,13 @@ package trace
 
 import (
 	"bufio"
+	"cmp"
 	"encoding/json"
 	"fmt"
 	"io"
+	"slices"
 	"strconv"
+	"strings"
 
 	"ddoshield/internal/sim"
 )
@@ -99,6 +102,159 @@ func WriteSpans(w io.Writer, spans []Span) error {
 		bw.WriteString("}\n")
 	}
 	return bw.Flush()
+}
+
+// CanonicalSpans rewrites spans into a run-order-independent canonical
+// form. Trace and span IDs are allocation-order artifacts: parallel
+// domains interleave allocations (and finish order) nondeterministically,
+// so two runs of the same scenario can emit the same causal structure
+// under different numberings. This function restores comparability:
+// traces are ordered by their origin span (start time, flow, name, actor,
+// then full structural comparison), spans within a trace follow a
+// canonical pre-order walk of the parent/child tree with structurally
+// sorted siblings, and every ID is renumbered densely in that order.
+// Runs with identical causal structure then serialize byte-identically
+// through WriteSpans. Spans whose parent is absent from the input (still
+// active, or evicted from the ring) become roots with Parent 0.
+func CanonicalSpans(spans []Span) []Span {
+	byTrace := make(map[TraceID][]Span)
+	for _, s := range spans {
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	trees := make([]*spanTree, 0, len(byTrace))
+	for _, g := range byTrace {
+		trees = append(trees, newSpanTree(g))
+	}
+	slices.SortFunc(trees, compareTrees)
+	out := make([]Span, 0, len(spans))
+	var next SpanID
+	for ti, t := range trees {
+		out = t.appendCanonical(out, TraceID(ti+1), &next)
+	}
+	return out
+}
+
+// spanTree is one trace's spans arranged as a forest (normally a single
+// tree rooted at the origin span).
+type spanTree struct {
+	spans    []Span
+	children map[SpanID][]int // parent span ID -> child indices, canonical order
+	roots    []int
+}
+
+func newSpanTree(g []Span) *spanTree {
+	t := &spanTree{spans: g, children: make(map[SpanID][]int)}
+	present := make(map[SpanID]bool, len(g))
+	for _, s := range g {
+		present[s.ID] = true
+	}
+	for i, s := range g {
+		if s.Parent != 0 && present[s.Parent] {
+			t.children[s.Parent] = append(t.children[s.Parent], i)
+		} else {
+			t.roots = append(t.roots, i)
+		}
+	}
+	// Canonicalize sibling order bottom-up: once a node's descendants are
+	// sorted, comparing two siblings' subtrees is well-defined.
+	var sortKids func(idx []int)
+	sortKids = func(idx []int) {
+		for _, i := range idx {
+			sortKids(t.children[t.spans[i].ID])
+		}
+		slices.SortFunc(idx, func(a, b int) int { return compareSubtrees(t, a, t, b) })
+	}
+	sortKids(t.roots)
+	return t
+}
+
+// compareSubtrees orders two canonically-sorted subtrees (possibly from
+// different trees) by span fields, then child count, then children
+// pairwise. Subtrees that compare equal are structurally identical, so
+// any residual ordering ambiguity cannot affect serialized output.
+func compareSubtrees(ta *spanTree, a int, tb *spanTree, b int) int {
+	sa, sb := &ta.spans[a], &tb.spans[b]
+	if c := cmp.Compare(sa.Start, sb.Start); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(sa.End, sb.End); c != 0 {
+		return c
+	}
+	if c := strings.Compare(sa.Name, sb.Name); c != 0 {
+		return c
+	}
+	if c := strings.Compare(sa.Actor, sb.Actor); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(int(sa.Kind), int(sb.Kind)); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(int(sa.Drop), int(sb.Drop)); c != 0 {
+		return c
+	}
+	if c := strings.Compare(sa.Tag, sb.Tag); c != 0 {
+		return c
+	}
+	if c := compareFlows(sa.Flow, sb.Flow); c != 0 {
+		return c
+	}
+	ca, cb := ta.children[sa.ID], tb.children[sb.ID]
+	if c := cmp.Compare(len(ca), len(cb)); c != 0 {
+		return c
+	}
+	for i := range ca {
+		if c := compareSubtrees(ta, ca[i], tb, cb[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func compareFlows(a, b Flow) int {
+	if c := cmp.Compare(a.Src, b.Src); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.Dst, b.Dst); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.SrcPort, b.SrcPort); c != 0 {
+		return c
+	}
+	if c := cmp.Compare(a.DstPort, b.DstPort); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Proto, b.Proto)
+}
+
+func compareTrees(a, b *spanTree) int {
+	n := min(len(a.roots), len(b.roots))
+	for i := 0; i < n; i++ {
+		if c := compareSubtrees(a, a.roots[i], b, b.roots[i]); c != 0 {
+			return c
+		}
+	}
+	return cmp.Compare(len(a.roots), len(b.roots))
+}
+
+// appendCanonical walks the forest pre-order, renumbering the trace and
+// every span/parent ID densely.
+func (t *spanTree) appendCanonical(out []Span, tid TraceID, next *SpanID) []Span {
+	var walk func(i int, parent SpanID)
+	walk = func(i int, parent SpanID) {
+		*next++
+		id := *next
+		s := t.spans[i]
+		oldID := s.ID
+		s.Trace, s.ID, s.Parent = tid, id, parent
+		out = append(out, s)
+		for _, c := range t.children[oldID] {
+			walk(c, id)
+		}
+	}
+	for _, r := range t.roots {
+		walk(r, 0)
+	}
+	return out
 }
 
 // wireSpan is the JSON shape WriteSpans emits, for read-back.

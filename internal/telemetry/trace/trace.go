@@ -185,7 +185,10 @@ func (tr *Tracer) origin(t sim.Time, f Flow, kind Kind, name, actor string) Cont
 	sp := tr.acquire()
 	*sp = Span{Trace: id, ID: tr.newSpanID(), Name: name, Actor: actor, Kind: kind, Flow: f, Start: t}
 	tr.active[sp.ID] = sp
-	if kind == KindAttack && !tr.haveFirstAttack {
+	// Track the MINIMUM origin time, not the first seen: in partitioned
+	// runs domains execute their windows in arbitrary goroutine order, so
+	// the first attack origin observed here need not be the earliest.
+	if kind == KindAttack && (!tr.haveFirstAttack || t < tr.firstAttack) {
 		tr.haveFirstAttack = true
 		tr.firstAttack = t
 	}
@@ -254,11 +257,15 @@ func (tr *Tracer) finish(c Context, t sim.Time, tag string, cause DropCause, ter
 		tr.hops[name] = hist
 	}
 	tr.mu.Unlock()
-	hist.Observe(float64(t-start) / 1e3)
+	// Observe whole microseconds (integer division BEFORE the float
+	// conversion): integral values this small are exact in float64, so the
+	// histogram sums are commutative and snapshots stay byte-identical no
+	// matter which order parallel domains interleave their observations.
+	hist.Observe(float64((t - start) / 1e3))
 	if cause != DropNone {
 		tr.drops[cause%numDropCauses].Inc()
 	} else if terminal {
-		tr.e2e[c.Kind%numKinds].Observe(float64(t-c.Root) / 1e3)
+		tr.e2e[c.Kind%numKinds].Observe(float64((t - c.Root) / 1e3))
 	}
 }
 

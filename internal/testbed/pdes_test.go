@@ -1,0 +1,179 @@
+package testbed
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"ddoshield/internal/telemetry"
+	"ddoshield/internal/telemetry/trace"
+)
+
+// pdesRunArtifacts executes one full campaign — scan/infect, an attack
+// wave against the TServer, benign traffic throughout — with the given
+// execution mode, and returns every byte-comparable artifact: Summary,
+// the Prometheus snapshot of the main registry, and the canonical trace
+// span JSONL.
+func pdesRunArtifacts(t *testing.T, domains, workers int) (summary, prom, spans string) {
+	t.Helper()
+	tb, err := New(Config{
+		Seed:         42,
+		NumDevices:   12,
+		DeviceGroups: 4,
+		MeanThink:    700 * time.Millisecond,
+		Domains:      domains,
+		PDESWorkers:  workers,
+		// Trace enough flows that spans cross domain boundaries, with a
+		// ring large enough that nothing is evicted (eviction order is a
+		// finish-order artifact).
+		TraceSampleRate:   0.2,
+		TraceSpanCapacity: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Start()
+	tb.ScheduleAttackWave(8*time.Second, 2*time.Second,
+		tb.DefaultAttackWave(4*time.Second, 150))
+	if err := tb.Run(25 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Tracer().Evicted() != 0 {
+		t.Fatalf("span ring evicted %d spans; grow TraceSpanCapacity", tb.Tracer().Evicted())
+	}
+	var pb, sb bytes.Buffer
+	if err := telemetry.WritePrometheus(&pb, tb.Registry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteSpans(&sb, trace.CanonicalSpans(tb.Tracer().Spans())); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Summary(), pb.String(), sb.String()
+}
+
+// TestPDESDeterminism is the tentpole regression test: the same seeded
+// scenario run serially, with Domains=2, and with Domains=NumCPU (at
+// least 4, so multi-worker merge paths execute even on small builders)
+// must produce byte-identical Summary output, Prometheus snapshots and
+// canonical span files. Run under -race in CI, it also proves the
+// parallel engine's synchronization is sound.
+func TestPDESDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-campaign determinism matrix is slow")
+	}
+	wantSummary, wantProm, wantSpans := pdesRunArtifacts(t, 1, 1)
+	if wantSpans == "" {
+		t.Fatal("serial baseline produced no trace spans")
+	}
+	cpus := runtime.NumCPU()
+	if cpus < 4 {
+		cpus = 4
+	}
+	for _, tc := range []struct{ domains, workers int }{
+		{2, 0},    // two domains, workers defaulted to Domains
+		{2, 1},    // parallel plumbing, serial window execution
+		{cpus, 0}, // one domain per CPU (>= 4)
+	} {
+		summary, prom, spans := pdesRunArtifacts(t, tc.domains, tc.workers)
+		if summary != wantSummary {
+			t.Fatalf("domains=%d workers=%d: Summary diverged\n--- serial ---\n%s--- parallel ---\n%s",
+				tc.domains, tc.workers, wantSummary, summary)
+		}
+		if prom != wantProm {
+			t.Fatalf("domains=%d workers=%d: Prometheus snapshot diverged (%d vs %d bytes)",
+				tc.domains, tc.workers, len(wantProm), len(prom))
+		}
+		if spans != wantSpans {
+			t.Fatalf("domains=%d workers=%d: canonical span output diverged (%d vs %d bytes)",
+				tc.domains, tc.workers, len(wantSpans), len(spans))
+		}
+	}
+}
+
+// TestPDESEdgeServerDeterminism pins the scaled-scenario topology (edge
+// switches + group-local HTTP servers) to the same byte-identity bar.
+// The attack wave matters: flood packets from bots in different domains
+// converge on the core switch at identical instants, which is exactly
+// the same-time cross-domain collision the tail-phase arrival queue
+// normalizes. Without that normalization this scenario diverges (switch
+// MAC learning is arrival-order sensitive).
+func TestPDESEdgeServerDeterminism(t *testing.T) {
+	run := func(domains int) string {
+		tb, err := New(Config{
+			Seed:         7,
+			NumDevices:   16,
+			DeviceGroups: 4,
+			EdgeServers:  true,
+			MeanThink:    400 * time.Millisecond,
+			Domains:      domains,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.Start()
+		tb.ScheduleAttackWave(6*time.Second, 2*time.Second,
+			tb.DefaultAttackWave(4*time.Second, 200))
+		if err := tb.Run(20 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		var pb bytes.Buffer
+		if err := telemetry.WritePrometheus(&pb, tb.Registry()); err != nil {
+			t.Fatal(err)
+		}
+		return tb.Summary() + pb.String()
+	}
+	want := run(1)
+	for _, k := range []int{3, 5} {
+		if got := run(k); got != want {
+			t.Fatalf("domains=%d diverged from serial", k)
+		}
+	}
+}
+
+// TestPDESConfigValidation pins the partitioned-mode feature gates.
+func TestPDESConfigValidation(t *testing.T) {
+	if _, err := New(Config{Domains: 2, Churn: ChurnConfig{Enabled: true}}); err == nil {
+		t.Fatal("churn with Domains>1 should be rejected")
+	}
+	if _, err := New(Config{EdgeServers: true}); err == nil {
+		t.Fatal("EdgeServers without DeviceGroups should be rejected")
+	}
+}
+
+// TestPDESEngineTelemetry checks the per-domain gauges land in the
+// dedicated engine registry and reflect real execution.
+func TestPDESEngineTelemetry(t *testing.T) {
+	tb, err := New(Config{Seed: 9, NumDevices: 6, DeviceGroups: 3, Domains: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.EngineMetrics() == nil || tb.Engine() == nil {
+		t.Fatal("partitioned testbed must expose engine + engine metrics")
+	}
+	tb.Start()
+	if err := tb.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Engine().Epochs() == 0 {
+		t.Fatal("engine executed no epochs")
+	}
+	for i := 0; i < tb.Engine().NumDomains(); i++ {
+		st := tb.Engine().Domain(i).Stats()
+		if st.Events == 0 {
+			t.Fatalf("domain %d fired no events", i)
+		}
+		if i > 0 && (st.MsgsIn == 0 || st.MsgsOut == 0) {
+			t.Fatalf("domain %d exchanged no cross-domain messages: %+v", i, st)
+		}
+	}
+	var b bytes.Buffer
+	if err := telemetry.WritePrometheus(&b, tb.EngineMetrics()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sim_engine_epochs_total", "sim_domain_events_total", "sim_domain_msgs_out_total"} {
+		if !bytes.Contains(b.Bytes(), []byte(want)) {
+			t.Fatalf("engine metrics missing %s:\n%s", want, b.String())
+		}
+	}
+}

@@ -51,6 +51,11 @@ func deviceAddr(i int) packet.Addr {
 	return packet.AddrFrom4(10, 0, 2, byte(10+i))
 }
 
+// edgeServerAddr returns the g-th group's edge-server address (10.0.3.x).
+func edgeServerAddr(g int) packet.Addr {
+	return packet.AddrFrom4(10, 0, 3, byte(1+g))
+}
+
 // ChurnConfig models device reboots: exponential up-times and down-times.
 // A rebooted device loses its infection (Mirai is memory-resident). Churn
 // reboots are crash exits routed through each device's supervisor, so a
@@ -107,6 +112,35 @@ type Config struct {
 	// TraceSpanCapacity bounds the tracer's finished-span ring (default
 	// trace.DefaultSpanCapacity).
 	TraceSpanCapacity int
+	// DeviceGroups splits the Dev fleet across this many access switches
+	// (edge00..edgeNN), each trunked to the core lan0 switch over
+	// TrunkLink. 0 or 1 keeps the flat single-switch topology. Topology
+	// is a function of DeviceGroups alone — the execution mode (Domains)
+	// never changes what is simulated, only how it executes.
+	DeviceGroups int
+	// TrunkLink configures the edge-to-core trunk links (defaults: the
+	// netsim link defaults, i.e. 100 Mb/s and 1 ms). With Domains > 1 the
+	// trunk delay is the dominant term of the engine lookahead, so larger
+	// values buy wider parallel windows.
+	TrunkLink netsim.LinkConfig
+	// EdgeServers gives each device group a local HTTP server
+	// (10.0.3.1+g) on its access switch, and points the group's devices
+	// at it instead of the central TServer. This keeps benign request
+	// traffic group-local — the topology shape that lets a partitioned
+	// run scale — and implies HTTP-only device profiles (video/FTP
+	// against an edge server are refused). Requires DeviceGroups >= 2.
+	EdgeServers bool
+	// Domains partitions execution into this many conservative-PDES
+	// domains: domain 0 owns the core (lan0, TServer, IDS, C2, attacker)
+	// and device group g lives in domain 1 + g mod (Domains-1). Values
+	// <= 1 run the classic single-scheduler path. Results are
+	// byte-identical either way; Domains > 1 only buys parallelism.
+	// Churn, fault plans and random link loss are rejected in partitioned
+	// mode (they mutate cross-domain state through shared RNG streams).
+	Domains int
+	// PDESWorkers bounds how many domains execute concurrently
+	// (0 = Domains). Ignored when Domains <= 1.
+	PDESWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -134,7 +168,41 @@ func (c Config) withDefaults() Config {
 	if c.ReinfectCooldown <= 0 {
 		c.ReinfectCooldown = 45 * time.Second
 	}
+	if c.DeviceGroups < 1 {
+		c.DeviceGroups = 1
+	}
+	if c.Domains < 1 {
+		c.Domains = 1
+	}
 	return c
+}
+
+// validate rejects configurations whose features cannot run partitioned.
+func (c Config) validate() error {
+	if c.EdgeServers && c.DeviceGroups < 2 {
+		return fmt.Errorf("testbed: EdgeServers requires DeviceGroups >= 2 (got %d)", c.DeviceGroups)
+	}
+	if c.Domains <= 1 {
+		return nil
+	}
+	switch {
+	case c.Churn.Enabled:
+		return fmt.Errorf("testbed: churn is not supported with Domains=%d (shared churn RNG crosses domains); run serial", c.Domains)
+	case !c.Faults.Empty():
+		return fmt.Errorf("testbed: fault plans are not supported with Domains=%d (injector state crosses domains); run serial", c.Domains)
+	case c.Link.LossProb > 0 || c.TrunkLink.LossProb > 0:
+		return fmt.Errorf("testbed: random link loss is not supported with Domains=%d (shared loss RNG crosses domains); run serial", c.Domains)
+	}
+	return nil
+}
+
+// domainOf maps a device group to its PDES domain: the core is domain 0,
+// groups round-robin over domains 1..Domains-1.
+func (c Config) domainOf(group int) int {
+	if c.Domains <= 1 {
+		return 0
+	}
+	return 1 + group%(c.Domains-1)
 }
 
 // DeviceHandle pairs a device with its container.
@@ -147,9 +215,11 @@ type DeviceHandle struct {
 type Testbed struct {
 	cfg     Config
 	sched   *sim.Scheduler
+	engine  *sim.Engine // nil when Domains <= 1
 	network *netsim.Network
 	runtime *container.Runtime
 	sw      *netsim.Switch
+	edgeSws []*netsim.Switch
 
 	tserver   *container.Container
 	idsC      *container.Container
@@ -163,13 +233,20 @@ type Testbed struct {
 	c2       *botnet.C2
 	attacker *botnet.Attacker
 
+	edgeSrvs []*httpapp.Server
+	edgeCs   []*container.Container
+
 	injector *faults.Injector
 	devSups  []*container.Supervisor
 	churnGen map[*container.Container]int
 
-	reg    *telemetry.Registry
-	rec    *telemetry.Recorder
-	tracer *trace.Tracer
+	reg *telemetry.Registry
+	// engineReg holds the per-domain PDES gauges. They live in their own
+	// registry so the main Registry snapshot stays byte-identical across
+	// execution modes (serial runs have no domains to report).
+	engineReg *telemetry.Registry
+	rec       *telemetry.Recorder
+	tracer    *trace.Tracer
 
 	idsUnits []*ids.Unit
 
@@ -180,13 +257,22 @@ type Testbed struct {
 // New assembles the full topology. Nothing runs until Start.
 func New(cfg Config) (*Testbed, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	tb := &Testbed{
 		cfg:      cfg,
-		sched:    sim.NewScheduler(),
 		churnRNG: sim.Substream(cfg.Seed, "testbed/churn"),
 		churnGen: make(map[*container.Container]int),
 	}
-	tb.network = netsim.New(tb.sched)
+	if cfg.Domains > 1 {
+		tb.engine = sim.NewEngine(cfg.Domains, 0)
+		tb.sched = tb.engine.Domain(0).Scheduler()
+		tb.network = netsim.NewPartitioned(tb.engine)
+	} else {
+		tb.sched = sim.NewScheduler()
+		tb.network = netsim.New(tb.sched)
+	}
 	// Telemetry hub first, so every NIC, link and switch created below
 	// registers its counters at construction time.
 	tb.reg = telemetry.NewRegistry()
@@ -296,22 +382,65 @@ func New(cfg Config) (*Testbed, error) {
 		return nil, fmt.Errorf("testbed: %w", err)
 	}
 
-	// Device fleet.
+	// Access layer: with DeviceGroups > 1 every group gets an edge switch
+	// trunked to the core lan0, placed in the group's PDES domain (domain
+	// 0 when serial), and optionally a group-local HTTP edge server.
+	if cfg.DeviceGroups > 1 {
+		for g := 0; g < cfg.DeviceGroups; g++ {
+			esw := tb.network.NewSwitchInDomain(fmt.Sprintf("edge%02d", g), cfg.domainOf(g))
+			tb.network.Connect(tb.sw.NewPort(), esw.NewPort(), cfg.TrunkLink)
+			tb.edgeSws = append(tb.edgeSws, esw)
+			if cfg.EdgeServers {
+				srv := httpapp.NewServer(httpapp.ServerConfig{Seed: cfg.Seed + 2000 + int64(g)})
+				srvApp := container.AppFuncs{
+					OnStart: func(c *container.Container) { _ = srv.Attach(c.Host()) },
+					OnStop:  srv.Detach,
+				}
+				srvC, err := tb.runtime.Create(container.Spec{
+					Name: fmt.Sprintf("edge%02d-srv", g), Image: "edge:http",
+					Host: hostCfg(edgeServerAddr(g)), App: srvApp, Domain: cfg.domainOf(g),
+				}, esw, cfg.Link)
+				if err != nil {
+					return nil, fmt.Errorf("testbed: %w", err)
+				}
+				tb.edgeSrvs = append(tb.edgeSrvs, srv)
+				tb.edgeCs = append(tb.edgeCs, srvC)
+			}
+		}
+	}
+
+	// Device fleet: group g's devices hang off its edge switch and target
+	// its edge server when configured; the flat topology keeps everything
+	// on lan0 aimed at the central TServer.
 	for i := 0; i < cfg.NumDevices; i++ {
 		profile := cfg.Profiles[i%len(cfg.Profiles)]
 		name := fmt.Sprintf("dev%02d-%s", i, profile.Kind)
+		accessSw, group, dom := tb.sw, 0, 0
+		if cfg.DeviceGroups > 1 {
+			group = i % cfg.DeviceGroups
+			accessSw = tb.edgeSws[group]
+			dom = cfg.domainOf(group)
+		} else if cfg.Domains > 1 {
+			// Flat topology, partitioned execution: spread devices
+			// round-robin over the non-core domains.
+			dom = cfg.domainOf(i)
+		}
+		target := addrTServer
+		if cfg.EdgeServers {
+			target = edgeServerAddr(group)
+		}
 		dev := devices.New(devices.Config{
 			Name:       name,
 			Profile:    profile,
-			TServer:    addrTServer,
+			TServer:    target,
 			SpoofRange: DefaultSpoofRange,
 			Seed:       cfg.Seed + 1000 + int64(i)*13,
 			MeanThink:  cfg.MeanThink,
 		})
 		devC, err := tb.runtime.Create(container.Spec{
 			Name: name, Image: "iot:" + profile.Kind,
-			Host: hostCfg(deviceAddr(i)), App: dev,
-		}, tb.sw, cfg.Link)
+			Host: hostCfg(deviceAddr(i)), App: dev, Domain: dom,
+		}, accessSw, cfg.Link)
 		if err != nil {
 			return nil, fmt.Errorf("testbed: %w", err)
 		}
@@ -326,7 +455,37 @@ func New(cfg Config) (*Testbed, error) {
 	}
 	tb.injector.SetTelemetry(tb.reg, tb.rec)
 	tb.registerCampaignMetrics()
+	if tb.engine != nil {
+		// Conservative lookahead: the smallest propagation delay of any
+		// link that crosses a domain boundary. A degenerate partitioning
+		// (every object in domain 0) has no such link; any positive
+		// lookahead is then safe.
+		la, ok := tb.network.MinCrossDomainDelay()
+		if !ok {
+			la = sim.Millisecond
+		}
+		tb.engine.SetLookahead(la)
+		tb.registerEngineMetrics()
+	}
 	return tb, nil
+}
+
+// registerEngineMetrics publishes the PDES engine's per-domain execution
+// gauges into a dedicated registry (see Testbed.EngineMetrics).
+func (tb *Testbed) registerEngineMetrics() {
+	tb.engineReg = telemetry.NewRegistry()
+	reg, e := tb.engineReg, tb.engine
+	reg.RegisterCounterFunc(func() uint64 { return e.Epochs() }, "sim_engine_epochs_total")
+	reg.RegisterGaugeFunc(func() float64 { return float64(e.Lookahead()) }, "sim_engine_lookahead_ns")
+	for i := 0; i < e.NumDomains(); i++ {
+		d := e.Domain(i)
+		l := telemetry.L("domain", fmt.Sprintf("%d", i))
+		reg.RegisterCounterFunc(func() uint64 { return d.Stats().Events }, "sim_domain_events_total", l)
+		reg.RegisterCounterFunc(func() uint64 { return d.Stats().BarrierWaits }, "sim_domain_barrier_waits_total", l)
+		reg.RegisterCounterFunc(func() uint64 { return d.Stats().MsgsOut }, "sim_domain_msgs_out_total", l)
+		reg.RegisterCounterFunc(func() uint64 { return d.Stats().MsgsIn }, "sim_domain_msgs_in_total", l)
+		reg.RegisterGaugeFunc(func() float64 { return float64(d.Stats().HorizonLag) }, "sim_domain_horizon_lag_ns", l)
+	}
 }
 
 // registerCampaignMetrics exposes botnet campaign and fleet-health state as
@@ -380,6 +539,7 @@ func (tb *Testbed) Tracer() *trace.Tracer { return tb.tracer }
 // allContainers lists every container in creation order.
 func (tb *Testbed) allContainers() []*container.Container {
 	out := []*container.Container{tb.tserver, tb.idsC, tb.c2C, tb.attackerC}
+	out = append(out, tb.edgeCs...)
 	for i := range tb.devs {
 		out = append(out, tb.devs[i].Container)
 	}
@@ -398,6 +558,9 @@ func (tb *Testbed) Start() {
 	tb.idsC.Start()
 	tb.c2C.Start()
 	tb.attackerC.Start()
+	for _, c := range tb.edgeCs {
+		c.Start()
+	}
 	for i := range tb.devs {
 		c := tb.devs[i].Container
 		c.Start()
@@ -458,12 +621,37 @@ func (tb *Testbed) scheduleChurn(c *container.Container) {
 	})
 }
 
-// Run advances the simulation by d.
+// Run advances the simulation by d: on the single scheduler when serial,
+// or through the PDES engine's epoch loop (with PDESWorkers goroutines)
+// when Domains > 1. Both paths yield byte-identical state.
 func (tb *Testbed) Run(d time.Duration) error {
+	if tb.engine != nil {
+		return tb.engine.RunFor(sim.FromDuration(d), tb.Workers())
+	}
 	return tb.sched.RunFor(d)
 }
 
-// Scheduler exposes the simulation scheduler.
+// Workers reports the effective parallel worker count (Domains when
+// Config.PDESWorkers is 0; always 1 in serial mode).
+func (tb *Testbed) Workers() int {
+	if tb.engine == nil {
+		return 1
+	}
+	if tb.cfg.PDESWorkers > 0 {
+		return tb.cfg.PDESWorkers
+	}
+	return tb.cfg.Domains
+}
+
+// Engine exposes the PDES engine (nil when Domains <= 1).
+func (tb *Testbed) Engine() *sim.Engine { return tb.engine }
+
+// EngineMetrics exposes the per-domain PDES gauges' registry (nil when
+// serial). Kept separate from Registry so the primary metrics snapshot is
+// byte-identical across execution modes.
+func (tb *Testbed) EngineMetrics() *telemetry.Registry { return tb.engineReg }
+
+// Scheduler exposes the simulation scheduler (domain 0's when partitioned).
 func (tb *Testbed) Scheduler() *sim.Scheduler { return tb.sched }
 
 // Network exposes the simulated network.
