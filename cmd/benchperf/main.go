@@ -224,6 +224,11 @@ func runPDES(out, workersCSV string, devices int, dur time.Duration) error {
 		fmt.Printf("domains=%d workers=%d %10.1f ms  %.2fx\n",
 			pt.Domains, pt.Workers, pt.WallMS, pt.Speedup)
 	}
+	fmt.Printf("faulted serial      %10.1f ms  (%d events)\n",
+		rep.FaultedSerial.WallMS, rep.FaultedSerial.Events)
+	fmt.Printf("faulted domains=%d workers=%d %10.1f ms  %.2fx\n",
+		rep.FaultedParallel.Domains, rep.FaultedParallel.Workers,
+		rep.FaultedParallel.WallMS, rep.FaultedParallel.Speedup)
 	fmt.Println("wrote", out)
 	return nil
 }

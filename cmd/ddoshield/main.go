@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"ddoshield/internal/faults"
 	"ddoshield/internal/pcap"
 	"ddoshield/internal/scenario"
 	"ddoshield/internal/telemetry"
@@ -40,6 +41,8 @@ func run() error {
 		attackGap = flag.Duration("gap", 3*time.Second, "gap between flood vectors")
 		pps       = flag.Int("pps", 400, "per-bot flood rate (packets/s)")
 		churn     = flag.Bool("churn", false, "enable device churn (reboots)")
+		domains   = flag.Int("domains", 1, "PDES domain count (>1 partitions the run across scheduler goroutines; results are byte-identical to -domains 1)")
+		chaos     = flag.Float64("chaos", 0, "fault-injection intensity in [0,1]: seeded random plan of link flaps, impairment windows and crash loops across the fleet (0 disables)")
 		outCSV    = flag.String("out", "", "write the labeled dataset CSV here")
 		outPcap   = flag.String("pcap", "", "write the raw capture here (pcap format)")
 		window    = flag.Duration("window", time.Second, "feature aggregation window")
@@ -52,6 +55,7 @@ func run() error {
 
 		traceSample = flag.Float64("trace-sample", 0, "causal-tracing flow sample rate in [0,1] (0 disables; 1 traces every flow)")
 		spanOut     = flag.String("span-out", "", "write finished causal-trace spans here as JSONL (analyze with tracetool)")
+		summaryOut  = flag.String("summary-out", "", "write the end-of-run testbed summary here (byte-stable for a given seed, for determinism diffing)")
 	)
 	flag.Parse()
 
@@ -83,6 +87,7 @@ func run() error {
 			NumDevices:      *devices,
 			Churn:           testbed.ChurnConfig{Enabled: *churn},
 			TraceSampleRate: *traceSample,
+			Domains:         *domains,
 		})
 		if err != nil {
 			return err
@@ -128,6 +133,15 @@ func run() error {
 	}
 
 	tb.Start()
+
+	if *chaos > 0 {
+		tb.Injector().Schedule(faults.Random(faults.RandomConfig{
+			Seed:      *seed + 7,
+			Start:     *warmup / 2,
+			Window:    *duration,
+			Intensity: *chaos,
+		}))
+	}
 
 	if def == nil {
 		// Repeating SYN/ACK/UDP waves for the whole run (the scenario file
@@ -201,6 +215,12 @@ func run() error {
 	}
 	if err := writeSnapshot(*traceOut, "trace", func(w *os.File) error {
 		return telemetry.WriteChromeTrace(w, tb.Recorder())
+	}); err != nil {
+		return err
+	}
+	if err := writeSnapshot(*summaryOut, "summary", func(w *os.File) error {
+		_, err := w.WriteString(tb.Summary())
+		return err
 	}); err != nil {
 		return err
 	}

@@ -225,7 +225,10 @@ func (c *Container) Start() {
 	c.started = c.node.Scheduler().Now()
 	c.exitCrash = false
 	c.emit("start", int64(c.restarts))
-	c.link.SetUp(true)
+	// Plug in our own side only: side state is owned by the NIC's domain,
+	// so a restart never reaches across a domain boundary. The far (switch)
+	// side is cut only by fault events, which restore it themselves.
+	c.host.NIC().SetLinkUp(true)
 	if c.app != nil {
 		c.app.Start(c)
 	}
@@ -275,7 +278,9 @@ func (c *Container) halt(crash bool) {
 	if c.app != nil {
 		c.app.Stop()
 	}
-	c.link.SetUp(false)
+	// Unplug our own side only (domain-local; see Start). Frames already
+	// heading for the dead container transmit and are then cut in flight.
+	c.host.NIC().SetLinkUp(false)
 }
 
 // SetApp replaces the hosted app; the replacement starts with the container.

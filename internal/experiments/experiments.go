@@ -78,6 +78,11 @@ type Scenario struct {
 	// anchors the detection-latency measurement, so the presets keep a
 	// small rate on by default.
 	TraceSampleRate float64
+	// Domains partitions every testbed the scenario builds across this
+	// many PDES domains (<= 1 is the serial path). Since the gates were
+	// lifted, churned and faulted runs are byte-identical either way, so
+	// the knob only trades wall-clock for cores.
+	Domains int
 }
 
 // Quick is the CI-scale preset: ~90 s of simulated training traffic and
@@ -128,6 +133,7 @@ func (sc Scenario) buildTestbed(seed int64, churn bool) (*testbed.Testbed, error
 			MeanUp:  90 * time.Second,
 		},
 		TraceSampleRate: sc.TraceSampleRate,
+		Domains:         sc.Domains,
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ddoshield/internal/devices"
+	"ddoshield/internal/faults"
 	"ddoshield/internal/netsim"
 	"ddoshield/internal/sim"
 	"ddoshield/internal/testbed"
@@ -64,8 +65,8 @@ func httpFleet() []devices.Profile {
 	return fleet
 }
 
-func (p PDESScenario) build(domains, workers int) (*testbed.Testbed, error) {
-	return testbed.New(testbed.Config{
+func (p PDESScenario) build(domains, workers int, faulted bool) (*testbed.Testbed, error) {
+	cfg := testbed.Config{
 		Seed:         p.Seed,
 		NumDevices:   p.Devices,
 		DeviceGroups: p.Groups,
@@ -75,6 +76,29 @@ func (p PDESScenario) build(domains, workers int) (*testbed.Testbed, error) {
 		TrunkLink:    netsim.LinkConfig{Delay: sim.FromDuration(p.TrunkDelay)},
 		Domains:      domains,
 		PDESWorkers:  workers,
+	}
+	if faulted {
+		// The faulted variant stresses the lifted gates: device churn plus
+		// lossy access links, all driven by per-entity RNG streams.
+		cfg.Churn = testbed.ChurnConfig{
+			Enabled:  true,
+			MeanUp:   20 * time.Second,
+			MeanDown: 2 * time.Second,
+		}
+		cfg.Link = netsim.LinkConfig{LossProb: 0.01}
+	}
+	return testbed.New(cfg)
+}
+
+// chaos is the seeded fault campaign faulted benchmark runs inject: the
+// full Random kind set (flaps, impairment windows, crash loops) at half
+// intensity across the device fleet.
+func (p PDESScenario) chaos() faults.Plan {
+	return faults.Random(faults.RandomConfig{
+		Seed:      p.Seed + 7,
+		Start:     2 * time.Second,
+		Window:    p.Duration - 2*time.Second,
+		Intensity: 0.5,
 	})
 }
 
@@ -100,16 +124,26 @@ type PDESReport struct {
 	SimSeconds float64     `json:"sim_seconds"`
 	Serial     PDESPoint   `json:"serial"`
 	Parallel   []PDESPoint `json:"parallel"`
+	// FaultedSerial and FaultedParallel measure the same topology with the
+	// injector active (churn, lossy access links, and a seeded chaos plan of
+	// flaps, impairment windows and crash loops). Both runs must produce
+	// byte-identical Summaries; FaultedParallel.Speedup is relative to
+	// FaultedSerial.
+	FaultedSerial   PDESPoint `json:"faulted_serial"`
+	FaultedParallel PDESPoint `json:"faulted_parallel"`
 }
 
 // runOnce executes one configuration and returns its point plus the
 // Summary text used for the byte-identity cross-check.
-func (p PDESScenario) runOnce(domains, workers int) (PDESPoint, string, error) {
-	tb, err := p.build(domains, workers)
+func (p PDESScenario) runOnce(domains, workers int, faulted bool) (PDESPoint, string, error) {
+	tb, err := p.build(domains, workers, faulted)
 	if err != nil {
 		return PDESPoint{}, "", err
 	}
 	tb.Start()
+	if faulted {
+		tb.Injector().Schedule(p.chaos())
+	}
 	start := time.Now()
 	if err := tb.Run(p.Duration); err != nil {
 		return PDESPoint{}, "", err
@@ -134,14 +168,14 @@ func (p PDESScenario) runOnce(domains, workers int) (PDESPoint, string, error) {
 // measure runs one configuration Repeats times, keeps the fastest wall
 // clock, and verifies every run's Summary matches want (empty want skips
 // the check and instead returns the observed Summary).
-func (p PDESScenario) measure(domains, workers int, want string) (PDESPoint, string, error) {
+func (p PDESScenario) measure(domains, workers int, faulted bool, want string) (PDESPoint, string, error) {
 	repeats := p.Repeats
 	if repeats < 1 {
 		repeats = 1
 	}
 	var best PDESPoint
 	for r := 0; r < repeats; r++ {
-		pt, summary, err := p.runOnce(domains, workers)
+		pt, summary, err := p.runOnce(domains, workers, faulted)
 		if err != nil {
 			return PDESPoint{}, "", err
 		}
@@ -163,26 +197,44 @@ func (p PDESScenario) measure(domains, workers int, want string) (PDESPoint, str
 // at each worker count, cross-checking that every run produces a
 // byte-identical testbed Summary. Worker counts beyond the host's
 // parallelism are still valid (determinism is worker-independent); they
-// just cannot go faster.
+// just cannot go faster. A final faulted pair (serial vs partitioned at
+// the highest worker count) repeats the measurement with the injector
+// active, pinning that chaos neither breaks identity nor the speedup.
 func (p PDESScenario) RunPDESBench(workerCounts []int) (*PDESReport, error) {
 	rep := &PDESReport{
 		Devices:    p.Devices,
 		Groups:     p.Groups,
 		SimSeconds: p.Duration.Seconds(),
 	}
-	serial, summary, err := p.measure(1, 1, "")
+	serial, summary, err := p.measure(1, 1, false, "")
 	if err != nil {
 		return nil, err
 	}
 	serial.Speedup = 1
 	rep.Serial = serial
+	maxWorkers := 0
 	for _, w := range workerCounts {
-		pt, _, err := p.measure(p.Domains, w, summary)
+		pt, _, err := p.measure(p.Domains, w, false, summary)
 		if err != nil {
 			return nil, err
 		}
 		pt.Speedup = serial.WallMS / pt.WallMS
 		rep.Parallel = append(rep.Parallel, pt)
+		if w > maxWorkers {
+			maxWorkers = w
+		}
 	}
+	fSerial, fSummary, err := p.measure(1, 1, true, "")
+	if err != nil {
+		return nil, err
+	}
+	fSerial.Speedup = 1
+	rep.FaultedSerial = fSerial
+	fPar, _, err := p.measure(p.Domains, maxWorkers, true, fSummary)
+	if err != nil {
+		return nil, err
+	}
+	fPar.Speedup = fSerial.WallMS / fPar.WallMS
+	rep.FaultedParallel = fPar
 	return rep, nil
 }

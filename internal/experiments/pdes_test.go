@@ -35,6 +35,15 @@ func TestRunPDESBenchQuick(t *testing.T) {
 			t.Fatalf("parallel point not measured: %+v", pt)
 		}
 	}
+	// The faulted pair runs with the injector active; its own Summary
+	// cross-check (faulted serial vs faulted partitioned) already ran
+	// inside RunPDESBench — here just pin that both points were measured.
+	if rep.FaultedSerial.WallMS <= 0 || rep.FaultedSerial.Events == 0 {
+		t.Fatalf("faulted serial point not measured: %+v", rep.FaultedSerial)
+	}
+	if rep.FaultedParallel.Domains != 5 || rep.FaultedParallel.Speedup <= 0 || rep.FaultedParallel.Epochs == 0 {
+		t.Fatalf("faulted parallel point not measured: %+v", rep.FaultedParallel)
+	}
 }
 
 // TestHTTPFleetProfiles pins the benchmark fleet to HTTP-only workloads:

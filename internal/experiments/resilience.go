@@ -27,6 +27,11 @@ type ResilienceConfig struct {
 	// Kinds enables fault types (default flap, impair, crash-loop,
 	// partition).
 	Kinds []faults.Kind
+	// Domains runs every intensity point's testbed partitioned across this
+	// many PDES domains (0 inherits Scenario.Domains; <= 1 is serial).
+	// Fault campaigns are byte-identical across domain counts, so the knob
+	// changes wall-clock only.
+	Domains int
 }
 
 func (cfg ResilienceConfig) withDefaults(sc Scenario) ResilienceConfig {
@@ -118,6 +123,9 @@ func (sc Scenario) RunResilience(models []TrainedModel, cfg ResilienceConfig) (*
 }
 
 func (sc Scenario) runResiliencePoint(models []TrainedModel, intensity float64, cfg ResilienceConfig) (*ResiliencePoint, error) {
+	if cfg.Domains > 0 {
+		sc.Domains = cfg.Domains
+	}
 	tb, err := sc.buildTestbed(sc.Seed+1, sc.ChurnInDetect)
 	if err != nil {
 		return nil, err

@@ -87,3 +87,28 @@ func TestResilienceSweepDeterministicAndFaulted(t *testing.T) {
 		t.Fatalf("missing degradation curves:\n%s", f1)
 	}
 }
+
+// TestResilienceDomainsMatchesSerial pins the new ResilienceConfig.Domains
+// knob: partitioning every intensity point's testbed across PDES domains
+// must change wall-clock only — the rendered sweep (confusion metrics,
+// fault counters, restarts, availability) stays byte-identical to serial.
+func TestResilienceDomainsMatchesSerial(t *testing.T) {
+	sc := tiny()
+	sc.Devices = 5
+	sc.InfectionLead = 30 * time.Second
+	sc.DetectDuration = 40 * time.Second
+	models := []TrainedModel{{Model: constModel{name: "allpos", class: 1}}}
+	run := func(domains int) string {
+		cfg := ResilienceConfig{Intensities: []float64{0, 1}, Domains: domains}
+		res, err := sc.RunResilience(models, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatResilience(res)
+	}
+	serial, partitioned := run(1), run(3)
+	if serial != partitioned {
+		t.Fatalf("Domains=3 sweep diverged from serial:\n--- serial ---\n%s--- partitioned ---\n%s",
+			serial, partitioned)
+	}
+}

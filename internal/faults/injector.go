@@ -19,28 +19,34 @@ type Target struct {
 	Link      *netsim.Link
 }
 
-// Injector applies fault plans to registered targets on the simulation
-// scheduler. All state changes happen inside scheduled events, so two
-// injectors built from the same seed over the same topology replay the
-// same fault sequence.
+// Injector applies fault plans to registered targets. Every fault is
+// domain-local by construction: Schedule resolves targets up front (while
+// the simulation is single-threaded) and splits each event into sub-events
+// placed directly on the scheduler that owns the touched state — the
+// container's domain for crashes, each link end's domain for flaps and
+// impairment windows, the switch's domain for partitions. A cross-domain
+// link is therefore flapped by two sub-events at the same instant, one per
+// side, and the whole campaign replays byte-identically whether the run is
+// serial or partitioned.
 type Injector struct {
-	sched    *sim.Scheduler
-	seed     int64
-	sw       *netsim.Switch
-	targets  []Target
-	byName   map[string]int
-	counters map[Kind]uint64
-	rec      *telemetry.Recorder
+	sched   *sim.Scheduler // reference clock for Schedule offsets (domain 0)
+	seed    int64
+	sw      *netsim.Switch
+	targets []Target
+	byName  map[string]int
+	// counts holds one atomic counter per Kinds() entry; sub-events bump
+	// them from their own domains, so they must be race-safe.
+	counts [5]telemetry.Counter
+	rec    *telemetry.Recorder
 }
 
 // NewInjector builds an injector. sw may be nil when partitions are unused.
 func NewInjector(sched *sim.Scheduler, seed int64, sw *netsim.Switch) *Injector {
 	return &Injector{
-		sched:    sched,
-		seed:     seed,
-		sw:       sw,
-		byName:   make(map[string]int),
-		counters: make(map[Kind]uint64),
+		sched:  sched,
+		seed:   seed,
+		sw:     sw,
+		byName: make(map[string]int),
 	}
 }
 
@@ -97,30 +103,28 @@ func (in *Injector) resolve(names []string) []Target {
 
 // Schedule arms every event of the plan relative to the current simulated
 // instant. It may be called before the testbed starts (events in the past
-// clamp to now) and more than once (plans compose).
+// clamp to now) and more than once (plans compose) — but only while no
+// simulation events are executing (before Run, or between Run calls),
+// because it inserts sub-events onto every owning domain's scheduler
+// directly. Targets are resolved here, at scheduling time.
 func (in *Injector) Schedule(p Plan) {
 	now := in.sched.Now()
 	for _, e := range p.Events {
-		e := e
-		in.sched.At(now.Add(e.At), func() { in.apply(e) })
-	}
-}
-
-// apply executes one event at its injection instant.
-func (in *Injector) apply(e Event) {
-	switch e.Kind {
-	case LinkFlap:
-		in.applyLinkFlap(e)
-	case LinkImpair:
-		in.applyLinkImpair(e)
-	case Partition:
-		in.applyPartition(e)
-	case Crash:
-		for _, tg := range in.resolve(e.Targets) {
-			in.kill(tg)
+		at := now.Add(e.At)
+		switch e.Kind {
+		case LinkFlap:
+			in.scheduleLinkFlap(at, e)
+		case LinkImpair:
+			in.scheduleLinkImpair(at, e)
+		case Partition:
+			in.schedulePartition(at, e)
+		case Crash:
+			for _, tg := range in.resolve(e.Targets) {
+				in.scheduleKill(at, tg)
+			}
+		case CrashLoop:
+			in.scheduleCrashLoop(at, e)
 		}
-	case CrashLoop:
-		in.applyCrashLoop(e)
 	}
 }
 
@@ -130,91 +134,168 @@ func (in *Injector) apply(e Event) {
 // may be nil.
 func (in *Injector) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder) {
 	in.rec = rec
-	for _, k := range Kinds() {
-		k := k
-		reg.RegisterCounterFunc(func() uint64 { return in.counters[k] },
-			"faults_injections_total", telemetry.L("kind", string(k)))
+	for i, k := range Kinds() {
+		c := &in.counts[i]
+		reg.RegisterCounterFunc(c.Value, "faults_injections_total", telemetry.L("kind", string(k)))
 	}
 }
 
-// count tallies one injection of kind k against actor and mirrors it into
-// the flight recorder.
-func (in *Injector) count(k Kind, actor string) {
-	in.counters[k]++
-	in.rec.Emit(in.sched.Now(), telemetry.CatFault, string(k), actor, int64(in.counters[k]))
+// kindIndex maps a kind to its counter slot (Kinds() order).
+func kindIndex(k Kind) int {
+	for i, kk := range Kinds() {
+		if kk == k {
+			return i
+		}
+	}
+	return 0
 }
 
-func (in *Injector) applyLinkFlap(e Event) {
+// count tallies one injection of kind k against actor and mirrors it into
+// the flight recorder. now must be the clock of the scheduler the firing
+// sub-event runs on — in a partitioned run there is no other "now" the
+// event may observe.
+func (in *Injector) count(k Kind, actor string, now sim.Time) {
+	c := &in.counts[kindIndex(k)]
+	c.Inc()
+	in.rec.Emit(now, telemetry.CatFault, string(k), actor, int64(c.Value()))
+}
+
+// containerSide reports which link side the target's container terminates
+// (0 when unknown). The container-side sub-event is the one that counts
+// the injection and guards its restore on container state — decisions that
+// must run in the container's own domain.
+func containerSide(tg Target) int {
+	if tg.Container == nil || tg.Link == nil {
+		return 0
+	}
+	if s := tg.Link.SideOf(tg.Container.Host().NIC()); s >= 0 {
+		return s
+	}
+	return 0
+}
+
+// scheduleLinkFlap cuts each target link at at, one sub-event per side on
+// the side's owning scheduler, restoring after Duration. Each sub-event
+// reads and writes only its own side's state, so the two sides of a
+// cross-domain link flap independently yet at identical instants.
+func (in *Injector) scheduleLinkFlap(at sim.Time, e Event) {
 	d := e.Duration
 	if d <= 0 {
 		d = 5 * time.Second
 	}
 	for _, tg := range in.resolve(e.Targets) {
-		if tg.Link == nil || !tg.Link.Up() {
+		if tg.Link == nil {
 			continue
 		}
-		tg.Link.SetUp(false)
-		in.count(LinkFlap, tg.Name)
 		link, c := tg.Link, tg.Container
-		in.sched.After(d, func() {
-			// Do not re-cable a container that stopped in the meantime;
-			// its next Start raises the link itself.
-			if c != nil && c.State() != container.StateRunning {
-				return
-			}
-			link.SetUp(true)
-		})
+		name := tg.Name
+		ownSide := containerSide(tg)
+		for side := 0; side < 2; side++ {
+			side := side
+			sched := link.SideScheduler(side)
+			counting := side == ownSide
+			sched.At(at, func() {
+				if !link.UpSide(side) {
+					return // already down (halted container or overlapping flap)
+				}
+				link.SetUpSide(side, false)
+				if counting {
+					in.count(LinkFlap, name, sched.Now())
+				}
+				sched.After(d, func() {
+					// Do not re-cable a container that stopped in the
+					// meantime; its next Start raises its side itself. The
+					// far side always comes back — nothing else will raise
+					// it.
+					if counting && c != nil && c.State() != container.StateRunning {
+						return
+					}
+					link.SetUpSide(side, true)
+				})
+			})
+		}
 	}
 }
 
-func (in *Injector) applyLinkImpair(e Event) {
+// scheduleLinkImpair installs the event's impairment set on each target
+// link at at, one sub-event per side, restoring the side's previous set
+// after Duration. Every (target, side) gets a private RNG stream — split
+// off the event's RNG, or derived from the injector seed — fixed here at
+// scheduling time, so the draw sequences are independent of event
+// interleaving in either execution mode.
+func (in *Injector) scheduleLinkImpair(at sim.Time, e Event) {
 	for _, tg := range in.resolve(e.Targets) {
 		if tg.Link == nil {
 			continue
 		}
-		imp := e.Impair
-		if imp.RNG == nil {
-			imp.RNG = sim.Substream(in.seed, "faults/impair/"+tg.Name)
+		base := e.Impair.RNG
+		if base == nil {
+			base = sim.Substream(in.seed, "faults/impair/"+tg.Name)
 		}
-		prev := tg.Link.Impairments()
-		tg.Link.SetImpairments(imp)
-		in.count(LinkImpair, tg.Name)
-		if e.Duration > 0 {
-			link := tg.Link
-			in.sched.After(e.Duration, func() { link.SetImpairments(prev) })
+		link, name := tg.Link, tg.Name
+		ownSide := containerSide(tg)
+		for side := 0; side < 2; side++ {
+			side := side
+			imp := e.Impair
+			imp.RNG = sim.NewRNG(base.Int63())
+			sched := link.SideScheduler(side)
+			counting := side == ownSide
+			sched.At(at, func() {
+				prev := link.ImpairmentsSide(side)
+				link.SetImpairmentsSide(side, imp)
+				if counting {
+					in.count(LinkImpair, name, sched.Now())
+				}
+				if e.Duration > 0 {
+					sched.After(e.Duration, func() { link.SetImpairmentsSide(side, prev) })
+				}
+			})
 		}
 	}
 }
 
-func (in *Injector) applyPartition(e Event) {
+// schedulePartition groups the switch's ports at at and heals after
+// Duration. Partitions touch only the switch's port-group table, so the
+// whole event runs in the switch's domain; SetGroup ignores ports of other
+// switches, which makes device uplinks in edge topologies no-ops.
+func (in *Injector) schedulePartition(at sim.Time, e Event) {
 	if in.sw == nil {
 		return
 	}
-	assigned := false
+	groups := make([][]Target, len(e.Groups))
 	for gi, names := range e.Groups {
-		for _, tg := range in.resolve(names) {
-			if tg.Link == nil {
-				continue
-			}
-			for _, p := range tg.Link.Ends() {
-				if in.sw.SetGroup(p, gi+1) {
-					assigned = true
+		groups[gi] = in.resolve(names)
+	}
+	sched := in.sw.Scheduler()
+	sched.At(at, func() {
+		assigned := false
+		for gi, tgs := range groups {
+			for _, tg := range tgs {
+				if tg.Link == nil {
+					continue
+				}
+				for _, p := range tg.Link.Ends() {
+					if in.sw.SetGroup(p, gi+1) {
+						assigned = true
+					}
 				}
 			}
 		}
-	}
-	if !assigned {
-		return
-	}
-	in.count(Partition, in.sw.Name())
-	d := e.Duration
-	if d <= 0 {
-		d = 10 * time.Second
-	}
-	in.sched.After(d, func() { in.sw.ClearGroups() })
+		if !assigned {
+			return
+		}
+		in.count(Partition, in.sw.Name(), sched.Now())
+		d := e.Duration
+		if d <= 0 {
+			d = 10 * time.Second
+		}
+		sched.After(d, func() { in.sw.ClearGroups() })
+	})
 }
 
-func (in *Injector) applyCrashLoop(e Event) {
+// scheduleCrashLoop arms one self-rescheduling kill loop per target, each
+// on its own container's scheduler, pacing at Every for Duration.
+func (in *Injector) scheduleCrashLoop(at sim.Time, e Event) {
 	every := e.Every
 	if every <= 0 {
 		every = time.Second
@@ -223,26 +304,41 @@ func (in *Injector) applyCrashLoop(e Event) {
 	if d <= 0 {
 		d = 5 * time.Second
 	}
-	targets := in.resolve(e.Targets)
-	deadline := in.sched.Now().Add(d)
-	var tick func()
-	tick = func() {
-		for _, tg := range targets {
+	for _, tg := range in.resolve(e.Targets) {
+		if tg.Container == nil {
+			continue
+		}
+		tg := tg
+		sched := tg.Container.Scheduler()
+		deadline := at.Add(d)
+		var tick func()
+		tick = func() {
 			in.kill(tg)
+			if sched.Now() < deadline {
+				sched.After(every, tick)
+			}
 		}
-		if in.sched.Now() < deadline {
-			in.sched.After(every, tick)
-		}
+		sched.At(at, tick)
 	}
-	tick()
 }
 
+// scheduleKill arms one kill on the target container's own scheduler.
+func (in *Injector) scheduleKill(at sim.Time, tg Target) {
+	if tg.Container == nil {
+		return
+	}
+	tg.Container.Scheduler().At(at, func() { in.kill(tg) })
+}
+
+// kill crashes the target if it is running. Runs on the container's
+// scheduler: the state check, the kill and the supervisor reaction are all
+// container-domain-local.
 func (in *Injector) kill(tg Target) {
 	if tg.Container == nil || tg.Container.State() != container.StateRunning {
 		return
 	}
 	tg.Container.Kill()
-	in.count(Crash, tg.Name)
+	in.count(Crash, tg.Name, tg.Container.Scheduler().Now())
 }
 
 // Counter is one per-kind injection count.
@@ -256,19 +352,23 @@ type Counter struct {
 // Crash counter (each kill is one injection); flaps, impairment windows
 // and partitions count one per affected link/switch.
 func (in *Injector) Counters() []Counter {
-	out := make([]Counter, 0, len(in.counters))
-	for k, v := range in.counters {
-		out = append(out, Counter{Kind: k, Count: v})
+	var out []Counter
+	for i, k := range Kinds() {
+		if v := in.counts[i].Value(); v > 0 {
+			out = append(out, Counter{Kind: k, Count: v})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
 	return out
 }
 
-// CounterMap returns the counts keyed by kind string (a fresh copy).
+// CounterMap returns the nonzero counts keyed by kind string (a fresh copy).
 func (in *Injector) CounterMap() map[string]uint64 {
-	out := make(map[string]uint64, len(in.counters))
-	for k, v := range in.counters {
-		out[string(k)] = v
+	out := make(map[string]uint64)
+	for i, k := range Kinds() {
+		if v := in.counts[i].Value(); v > 0 {
+			out[string(k)] = v
+		}
 	}
 	return out
 }

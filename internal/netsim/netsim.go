@@ -66,6 +66,11 @@ type Network struct {
 	// tracer drives causal packet tracing; nil (or a zero sample rate)
 	// keeps every frame on the zero-Context fast path.
 	tracer *trace.Tracer
+
+	// seed roots the per-entity RNG streams (per-link, per-direction loss
+	// draws) derived at Connect time for configs that do not supply their
+	// own RNG. See SetSeed.
+	seed int64
 }
 
 // New creates an empty network driven by sched.
@@ -84,6 +89,13 @@ func NewPartitioned(e *sim.Engine) *Network {
 // Engine exposes the PDES engine driving a partitioned network (nil for
 // serial networks built with New).
 func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// SetSeed roots the network's derived RNG streams. Links created after the
+// call whose LinkConfig enables random loss without supplying an RNG draw
+// from streams keyed by (seed, link index, direction) — independent of
+// global event interleaving, so the same topology produces the same loss
+// pattern under the serial scheduler and the partitioned engine alike.
+func (n *Network) SetSeed(seed int64) { n.seed = seed }
 
 // Scheduler exposes the simulation scheduler driving this network. In a
 // partitioned network this is domain 0's scheduler (the reference clock);
@@ -398,6 +410,20 @@ func (c *NIC) SetIngressFilter(fn func(raw []byte) bool) { c.ingress = fn }
 // IngressDropped reports frames discarded by the ingress filter.
 func (c *NIC) IngressDropped() uint64 { return c.ingressDropped.Value() }
 
+// Side reports which end of the attached link this NIC terminates (0 when
+// unattached, by convention).
+func (c *NIC) Side() int { return c.side }
+
+// SetLinkUp plugs or unplugs this NIC's side of its link. Only the NIC's
+// own side changes, so the operation is domain-local: a halting container
+// can always unplug itself even when the far end (a switch port) lives in
+// another PDES domain. No-op on an unattached NIC.
+func (c *NIC) SetLinkUp(up bool) {
+	if c.link != nil {
+		c.link.SetUpSide(c.side, up)
+	}
+}
+
 // String identifies the NIC as "node/ethN".
 func (c *NIC) String() string { return c.name }
 
@@ -409,10 +435,15 @@ type LinkConfig struct {
 	Delay sim.Time
 	// QueueBytes caps each direction's drop-tail queue (default 128 KiB).
 	QueueBytes int
-	// LossProb drops each frame independently with this probability,
-	// using rng. Zero disables random loss.
+	// LossProb drops each frame independently with this probability.
+	// Zero disables random loss.
 	LossProb float64
-	// RNG drives random loss; required when LossProb > 0.
+	// RNG seeds the loss draws. Connect splits it into one independent
+	// stream per link direction (drawing two seeds per link, in creation
+	// order), so a single RNG may be shared across many links without
+	// coupling their loss patterns to global event interleaving. When nil,
+	// per-direction streams are derived from the network seed (SetSeed)
+	// keyed by (seed, link index, direction).
 	RNG *sim.RNG
 }
 
@@ -488,16 +519,22 @@ func (s *LinkStats) Add(o LinkStats) {
 
 // Link is a full-duplex point-to-point link between two ports. Each
 // direction has an independent transmitter with a drop-tail byte queue.
+//
+// Up/down state and impairments are held per SIDE: side i is owned by the
+// domain of ends[i], and every mutation of side i's state executes on that
+// side's scheduler. Whole-link operations (SetUp, SetImpairments) write
+// both sides and are safe whenever both sides share a scheduler or no
+// events are running; callers in a partitioned run route per-side
+// operations (SetUpSide, SetImpairmentsSide) to the owning schedulers.
 type Link struct {
 	net     *Network
 	cfg     LinkConfig
-	imp     Impairments
 	ends    [2]Port
 	dirs    [2]*direction // dirs[i] carries frames from ends[i] to ends[1-i]
 	taps    []Tap
 	ctxTaps []TapCtx
-	up      bool
-	idx     int // creation index; the structural delivery tie-break key
+	up      [2]bool // per-side cable state; owned by ends[i]'s domain
+	idx     int     // creation index; the structural delivery tie-break key
 }
 
 // queuedFrame is one drop-tail queue entry: the frame plus its trace
@@ -531,6 +568,17 @@ type direction struct {
 	arrQ   *arrivalQueue
 	arrSeq uint64
 
+	// lossRNG drives this direction's random-loss draws, and imp its
+	// impairment draws. Both are direction-private streams consumed only
+	// in the sender's domain (transmit), so the draw sequence depends only
+	// on this direction's frame sequence — never on how events from other
+	// links or domains interleave. That per-entity discipline is what lets
+	// lossy and impaired links cross domain boundaries: the sender decides
+	// drop/corrupt/dup/reorder before the frame rides the lookahead
+	// message path, and the receiver sees a deterministic stream.
+	lossRNG *sim.RNG
+	imp     Impairments
+
 	// Shared telemetry counters; Counters() aggregates the two
 	// directions' values into the legacy LinkStats view.
 	txFrames      telemetry.Counter
@@ -545,11 +593,13 @@ type direction struct {
 
 // Connect wires two ports with a duplex link. In a partitioned network a
 // link whose endpoints live in different domains becomes a cross-domain
-// channel; its propagation delay bounds the engine lookahead, and random
-// loss is rejected because a shared per-link RNG drawn from two domains
-// would break determinism.
+// channel; its propagation delay bounds the engine lookahead. Random loss
+// is supported on cross-domain links: each direction draws from its own
+// RNG stream (split off cfg.RNG here, or keyed from the network seed), and
+// the draw happens in the sender's domain before the frame crosses the
+// epoch barrier, so partitioned runs stay byte-identical to serial ones.
 func (n *Network) Connect(a, b Port, cfg LinkConfig) *Link {
-	l := &Link{net: n, cfg: cfg.withDefaults(), ends: [2]Port{a, b}, up: true, idx: len(n.links)}
+	l := &Link{net: n, cfg: cfg.withDefaults(), ends: [2]Port{a, b}, up: [2]bool{true, true}, idx: len(n.links)}
 	l.dirs[0] = &direction{
 		link: l, from: 0, name: a.String() + "->" + b.String(),
 		sched: a.scheduler(), fromDom: a.domain(), toDom: b.domain(), toSched: b.scheduler(),
@@ -560,8 +610,17 @@ func (n *Network) Connect(a, b Port, cfg LinkConfig) *Link {
 	}
 	l.dirs[0].arrQ = n.arrivalQueueFor(l.dirs[0].toSched)
 	l.dirs[1].arrQ = n.arrivalQueueFor(l.dirs[1].toSched)
-	if l.crossDomain() && l.cfg.LossProb > 0 {
-		panic(fmt.Sprintf("netsim: random loss on cross-domain link %s is not supported in partitioned mode", l.dirs[0].name))
+	if l.cfg.LossProb > 0 {
+		// Per-direction loss streams, fixed at construction (which is
+		// single-threaded): two seed draws per link when the caller shares
+		// an RNG, or structural keying from the network seed otherwise.
+		for i, d := range l.dirs {
+			if l.cfg.RNG != nil {
+				d.lossRNG = sim.NewRNG(l.cfg.RNG.Int63())
+			} else {
+				d.lossRNG = sim.KeyedStream(n.seed, lossStreamKey, uint64(l.idx), uint64(i))
+			}
+		}
 	}
 	bindPort(a, l, 0)
 	bindPort(b, l, 1)
@@ -569,6 +628,10 @@ func (n *Network) Connect(a, b Port, cfg LinkConfig) *Link {
 	n.registerLink(l)
 	return l
 }
+
+// lossStreamKey salts the (network seed, link index, direction) keyed
+// streams so they cannot collide with other KeyedStream users.
+const lossStreamKey = 0x6c696e6b2d6c6f73 // "link-los"
 
 // crossDomain reports whether the link's endpoints execute in different
 // PDES domains.
@@ -596,31 +659,77 @@ func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
 // frame the link delivers.
 func (l *Link) AddTapCtx(t TapCtx) { l.ctxTaps = append(l.ctxTaps, t) }
 
-// SetUp raises or cuts the link. Frames sent while the link is down are
-// dropped at the queue; frames already in flight when it goes down are
-// dropped at their arrival instant (a cut cable loses what's on the wire)
-// and counted in LinkStats.InFlightDrops. Used by churn and fault models.
-func (l *Link) SetUp(up bool) { l.up = up }
+// SetUp raises or cuts both sides of the link. A side being down drops
+// frames sent from it at the queue, and drops frames arriving into it at
+// their arrival instant (a cut cable loses what's on the wire, counted in
+// LinkStats.InFlightDrops). In a partitioned run, call mid-simulation only
+// when both ends share a domain; otherwise cut each side from its owning
+// scheduler with SetUpSide.
+func (l *Link) SetUp(up bool) { l.up[0], l.up[1] = up, up }
 
-// Up reports whether the link is currently passing traffic.
-func (l *Link) Up() bool { return l.up }
+// SetUpSide raises or cuts one side of the link — the end attached at
+// ends[side]. Side state is owned by that end's domain: a container halt
+// unplugs its own NIC's side, and the fault injector cuts a cross-domain
+// link with one sub-event per side, each on the owning scheduler.
+func (l *Link) SetUpSide(side int, up bool) { l.up[side] = up }
+
+// Up reports whether the link is passing traffic in both directions.
+func (l *Link) Up() bool { return l.up[0] && l.up[1] }
+
+// UpSide reports whether ends[side]'s cable is plugged in.
+func (l *Link) UpSide(side int) bool { return l.up[side] }
 
 // SetImpairments installs (or, with the zero value, clears) runtime
-// impairments. Takes effect for frames transmitted after the call.
-// Impairments on cross-domain links are rejected in partitioned mode:
-// their RNG would be drawn from two domains concurrently.
+// impairments on both directions. Takes effect for frames transmitted
+// after the call. Each direction draws from its own stream: when im.RNG is
+// set, two per-direction seeds are split off it here, so the caller's RNG
+// never couples the two directions (or two domains) together. In a
+// partitioned run, call mid-simulation only when both ends share a domain;
+// otherwise install each side from its owning scheduler with
+// SetImpairmentsSide.
 func (l *Link) SetImpairments(im Impairments) {
-	if im.Active() && l.crossDomain() {
-		panic(fmt.Sprintf("netsim: impairments on cross-domain link %s are not supported in partitioned mode", l.dirs[0].name))
+	for side := range l.dirs {
+		sideIm := im
+		if im.RNG != nil {
+			sideIm.RNG = sim.NewRNG(im.RNG.Int63())
+		}
+		l.SetImpairmentsSide(side, sideIm)
 	}
-	l.imp = im
 }
 
-// Impairments returns the currently active impairment set.
-func (l *Link) Impairments() Impairments { return l.imp }
+// SetImpairmentsSide installs impairments on the single direction that
+// sends FROM ends[side]. The spec's RNG is used as-is; callers routing
+// per-side events across domains must supply per-side streams.
+func (l *Link) SetImpairmentsSide(side int, im Impairments) { l.dirs[side].imp = im }
+
+// Impairments returns the impairment set sending from ends[0] — the
+// whole-link view for callers that installed via SetImpairments.
+func (l *Link) Impairments() Impairments { return l.dirs[0].imp }
+
+// ImpairmentsSide returns the impairment set sending from ends[side],
+// including its private RNG, so a fault window can save and restore it.
+func (l *Link) ImpairmentsSide(side int) Impairments { return l.dirs[side].imp }
 
 // Ends returns the two ports the link connects, in Connect order.
 func (l *Link) Ends() [2]Port { return l.ends }
+
+// SideOf reports which end of the link p terminates, or -1 when p is not
+// one of the link's ports.
+func (l *Link) SideOf(p Port) int {
+	switch p {
+	case l.ends[0]:
+		return 0
+	case l.ends[1]:
+		return 1
+	}
+	return -1
+}
+
+// SideScheduler returns the scheduler owning ends[side] — the event queue
+// any mutation of that side's state (SetUpSide, SetImpairmentsSide) must
+// execute on in a partitioned run. In a serial network both sides report
+// the global scheduler.
+func (l *Link) SideScheduler(side int) *sim.Scheduler { return l.ends[side].scheduler() }
 
 // Stats aggregates both directions' counters (legacy three-value form;
 // drops totals queue, loss and in-flight discards).
@@ -658,7 +767,7 @@ func (l *Link) send(from int, raw []byte, tc trace.Context) {
 	// The "link" span opens at enqueue, so it covers queueing delay plus
 	// serialization plus propagation — the full hop latency.
 	span := tc.Start(now, "link", d.name)
-	if !l.up {
+	if !l.up[from] {
 		d.dropFrames.Inc()
 		l.net.emit(now, telemetry.CatNet, "queue-drop", d.name, int64(len(raw)))
 		span.Drop(now, trace.DropLinkDown)
@@ -697,7 +806,7 @@ func (d *direction) transmit(raw []byte, tc trace.Context) {
 			d.busy = false
 		}
 	})
-	if l.cfg.LossProb > 0 && l.cfg.RNG != nil && l.cfg.RNG.Bool(l.cfg.LossProb) {
+	if l.cfg.LossProb > 0 && d.lossRNG != nil && d.lossRNG.Bool(l.cfg.LossProb) {
 		d.lossFrames.Inc()
 		l.net.emit(sched.Now(), telemetry.CatNet, "loss", d.name, int64(len(raw)))
 		tc.Drop(sched.Now(), trace.DropLoss)
@@ -705,7 +814,7 @@ func (d *direction) transmit(raw []byte, tc trace.Context) {
 	}
 	arrive := sched.Now() + ser + l.cfg.Delay
 	dup := false
-	if im := l.imp; im.RNG != nil && im.Active() {
+	if im := d.imp; im.RNG != nil && im.Active() {
 		if im.LossProb > 0 && im.RNG.Bool(im.LossProb) {
 			d.lossFrames.Inc()
 			l.net.emit(sched.Now(), telemetry.CatNet, "loss", d.name, int64(len(raw)))
@@ -771,7 +880,7 @@ func (d *direction) scheduleArrival(at sim.Time, raw []byte, tc trace.Context) {
 func (d *direction) deliver(raw []byte, tc trace.Context) {
 	l := d.link
 	now := d.toSched.Now()
-	if !l.up {
+	if !l.up[1-d.from] {
 		d.inflightDrops.Inc()
 		l.net.emit(now, telemetry.CatNet, "inflight-drop", d.name, int64(len(raw)))
 		tc.Drop(now, trace.DropInFlightCut)

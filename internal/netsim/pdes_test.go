@@ -25,6 +25,16 @@ type pdesStarResult struct {
 // cross-domain arrival path in both directions through the switch.
 func runPDESStar(t *testing.T, leaves, domains, workers int) pdesStarResult {
 	t.Helper()
+	return runPDESStarCfg(t, leaves, domains, workers, LinkConfig{Delay: sim.Millisecond}, Impairments{})
+}
+
+// runPDESStarCfg is runPDESStar with the leaf uplink config and an optional
+// impairment set (installed on every uplink before the run) under test
+// control, so lossy and impaired cross-domain links get the same
+// serial-vs-partitioned identity treatment as clean ones. Per-run RNG state
+// is created inside, so every invocation sees identical streams.
+func runPDESStarCfg(t *testing.T, leaves, domains, workers int, cfg LinkConfig, im Impairments) pdesStarResult {
+	t.Helper()
 	const horizon = 200 * sim.Millisecond
 	var (
 		net    *Network
@@ -42,15 +52,21 @@ func runPDESStar(t *testing.T, leaves, domains, workers int) pdesStarResult {
 		}
 		return 1 + leaf%(domains-1)
 	}
+	net.SetSeed(99) // roots the keyed loss streams when cfg.RNG is nil
 	sw := net.NewSwitch("sw0")
-	cfg := LinkConfig{Delay: sim.Millisecond}
+	if im.Active() {
+		im.RNG = sim.NewRNG(4242)
+	}
 	nics := make([]*NIC, leaves)
 	res := pdesStarResult{deliveries: make([][]string, leaves)}
 	for i := 0; i < leaves; i++ {
 		i := i
 		node := net.NewNodeInDomain(fmt.Sprintf("leaf%d", i), domainOf(i))
 		nics[i] = node.AddNIC()
-		net.Connect(nics[i], sw.NewPort(), cfg)
+		l := net.Connect(nics[i], sw.NewPort(), cfg)
+		if im.Active() {
+			l.SetImpairments(im)
+		}
 		nics[i].SetHandler(func(raw []byte) {
 			res.deliveries[i] = append(res.deliveries[i],
 				fmt.Sprintf("%d:%d", node.Scheduler().Now(), len(raw)))
@@ -135,30 +151,59 @@ func TestMinCrossDomainDelay(t *testing.T) {
 	}
 }
 
-func TestCrossDomainLossRejected(t *testing.T) {
-	e := sim.NewEngine(2, 0)
-	net := NewPartitioned(e)
-	a := net.NewNodeInDomain("a", 0)
-	b := net.NewNodeInDomain("b", 1)
-	rng := sim.Substream(1, "loss")
-	defer func() {
-		if recover() == nil {
-			t.Fatal("cross-domain LossProb should panic")
+// TestCrossDomainLossMatchesSerial replaces the old "loss rejected in
+// partitioned mode" pin: every leaf uplink is cross-domain AND lossy, and
+// the delivery logs (instants, sizes, switch counters) must still be
+// byte-identical to the serial run. The loss streams are keyed by
+// (network seed, link index, direction), so the drop pattern cannot depend
+// on how domains interleave.
+func TestCrossDomainLossMatchesSerial(t *testing.T) {
+	const leaves = 6
+	cfg := LinkConfig{Delay: sim.Millisecond, LossProb: 0.3}
+	want := runPDESStarCfg(t, leaves, 1, 1, cfg, Impairments{})
+	var total int
+	for _, d := range want.deliveries {
+		total += len(d)
+	}
+	if total == 0 || total >= leaves*40 {
+		t.Fatalf("loss inactive: %d of %d frames delivered", total, leaves*40)
+	}
+	for _, tc := range []struct{ domains, workers int }{
+		{3, 1}, {4, 4}, {7, 4},
+	} {
+		got := runPDESStarCfg(t, leaves, tc.domains, tc.workers, cfg, Impairments{})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("domains=%d workers=%d lossy run diverged from serial:\ngot  %+v\nwant %+v",
+				tc.domains, tc.workers, got, want)
 		}
-	}()
-	net.Connect(a.AddNIC(), b.AddNIC(), LinkConfig{LossProb: 0.1, RNG: rng})
+	}
 }
 
-func TestCrossDomainImpairmentsRejected(t *testing.T) {
-	e := sim.NewEngine(2, 0)
-	net := NewPartitioned(e)
-	a := net.NewNodeInDomain("a", 0)
-	b := net.NewNodeInDomain("b", 1)
-	l := net.Connect(a.AddNIC(), b.AddNIC(), LinkConfig{})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("cross-domain impairments should panic")
+// TestCrossDomainImpairmentsMatchSerial replaces the old "impairments
+// rejected in partitioned mode" pin: loss, corruption, duplication and
+// reordering are all armed on cross-domain links, with per-direction RNG
+// streams split off one shared spec RNG at install time. The sender's
+// domain draws every impairment decision before the frame crosses the
+// epoch barrier, so partitioned runs replay the serial one exactly.
+func TestCrossDomainImpairmentsMatchSerial(t *testing.T) {
+	const leaves = 6
+	cfg := LinkConfig{Delay: sim.Millisecond}
+	im := Impairments{LossProb: 0.1, CorruptProb: 0.1, DupProb: 0.1, ReorderProb: 0.1}
+	want := runPDESStarCfg(t, leaves, 1, 1, cfg, im)
+	var total int
+	for _, d := range want.deliveries {
+		total += len(d)
+	}
+	if total == 0 {
+		t.Fatal("serial impaired baseline delivered nothing")
+	}
+	for _, tc := range []struct{ domains, workers int }{
+		{3, 1}, {4, 4}, {7, 4},
+	} {
+		got := runPDESStarCfg(t, leaves, tc.domains, tc.workers, cfg, im)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("domains=%d workers=%d impaired run diverged from serial:\ngot  %+v\nwant %+v",
+				tc.domains, tc.workers, got, want)
 		}
-	}()
-	l.SetImpairments(Impairments{DupProb: 0.5, RNG: sim.Substream(1, "imp")})
+	}
 }

@@ -3,9 +3,12 @@ package testbed
 import (
 	"bytes"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
+	"ddoshield/internal/faults"
+	"ddoshield/internal/netsim"
 	"ddoshield/internal/telemetry"
 	"ddoshield/internal/telemetry/trace"
 )
@@ -131,13 +134,151 @@ func TestPDESEdgeServerDeterminism(t *testing.T) {
 	}
 }
 
-// TestPDESConfigValidation pins the partitioned-mode feature gates.
+// TestPDESConfigValidation pins the validation surface after the
+// partitioned-mode gates were lifted: churn, fault plans and lossy links
+// with Domains=2 must construct AND run (they were hard errors before),
+// while genuinely inconsistent configs still fail.
 func TestPDESConfigValidation(t *testing.T) {
-	if _, err := New(Config{Domains: 2, Churn: ChurnConfig{Enabled: true}}); err == nil {
-		t.Fatal("churn with Domains>1 should be rejected")
+	mustRun := func(label string, cfg Config) {
+		t.Helper()
+		tb, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s with Domains=2 rejected: %v", label, err)
+		}
+		tb.Start()
+		if err := tb.Run(3 * time.Second); err != nil {
+			t.Fatalf("%s with Domains=2 failed to run: %v", label, err)
+		}
 	}
+	var plan faults.Plan
+	plan.Add(faults.Event{Kind: faults.LinkFlap, At: time.Second, Duration: time.Second, Targets: []string{"dev00*"}})
+	mustRun("churn", Config{
+		Seed: 1, NumDevices: 4, Domains: 2,
+		Churn: ChurnConfig{Enabled: true, MeanUp: time.Second, MeanDown: 500 * time.Millisecond},
+	})
+	mustRun("fault plan", Config{Seed: 2, NumDevices: 4, Domains: 2, Faults: plan})
+	mustRun("lossy links", Config{
+		Seed: 3, NumDevices: 4, Domains: 2,
+		Link:      netsim.LinkConfig{LossProb: 0.05},
+		TrunkLink: netsim.LinkConfig{LossProb: 0.05},
+	})
 	if _, err := New(Config{EdgeServers: true}); err == nil {
 		t.Fatal("EdgeServers without DeviceGroups should be rejected")
+	}
+}
+
+// chaosPlan is the five-kind fault plan of the faulted determinism
+// campaign, sized for a 25 s run: a flap and an impairment window on
+// devices (per-side sub-events in their owning domains), a crash, a crash
+// loop, and a core-switch partition that cuts the attacker off the LAN —
+// the partition targets core containers because in a grouped topology only
+// their uplinks terminate on lan0.
+func chaosPlan() faults.Plan {
+	var p faults.Plan
+	p.Add(faults.Event{
+		Kind: faults.LinkFlap, At: 6 * time.Second, Duration: 2 * time.Second,
+		Targets: []string{"dev00*", "dev01*"},
+	})
+	p.Add(faults.Event{
+		Kind: faults.LinkImpair, At: 10 * time.Second, Duration: 8 * time.Second,
+		Targets: []string{"dev*"},
+		Impair:  netsim.Impairments{LossProb: 0.05, CorruptProb: 0.05, DupProb: 0.02},
+	})
+	p.Add(faults.Event{Kind: faults.Crash, At: 14 * time.Second, Targets: []string{"dev02*"}})
+	p.Add(faults.Event{
+		Kind: faults.CrashLoop, At: 15 * time.Second, Duration: 4 * time.Second,
+		Every: time.Second, Targets: []string{"dev03*"},
+	})
+	p.Add(faults.Event{
+		Kind: faults.Partition, At: 17 * time.Second, Duration: 3 * time.Second,
+		Groups: [][]string{{"attacker"}, {"tserver", "ids", "c2"}},
+	})
+	return p
+}
+
+// pdesFaultedArtifacts is pdesRunArtifacts with the full chaos stack
+// enabled: device churn, the five-kind fault plan, and random loss on both
+// the access links and the cross-domain trunks.
+func pdesFaultedArtifacts(t *testing.T, domains, workers int) (summary, prom, spans string) {
+	t.Helper()
+	tb, err := New(Config{
+		Seed:         42,
+		NumDevices:   12,
+		DeviceGroups: 4,
+		MeanThink:    700 * time.Millisecond,
+		Domains:      domains,
+		PDESWorkers:  workers,
+		Churn: ChurnConfig{
+			Enabled:  true,
+			MeanUp:   8 * time.Second,
+			MeanDown: time.Second,
+		},
+		Faults:            chaosPlan(),
+		Link:              netsim.LinkConfig{LossProb: 0.01},
+		TrunkLink:         netsim.LinkConfig{LossProb: 0.02},
+		TraceSampleRate:   0.2,
+		TraceSpanCapacity: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Start()
+	tb.ScheduleAttackWave(8*time.Second, 2*time.Second,
+		tb.DefaultAttackWave(4*time.Second, 150))
+	if err := tb.Run(25 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Tracer().Evicted() != 0 {
+		t.Fatalf("span ring evicted %d spans; grow TraceSpanCapacity", tb.Tracer().Evicted())
+	}
+	var pb, sb bytes.Buffer
+	if err := telemetry.WritePrometheus(&pb, tb.Registry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteSpans(&sb, trace.CanonicalSpans(tb.Tracer().Spans())); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Summary(), pb.String(), sb.String()
+}
+
+// TestPDESFaultedCampaignDeterminism is the acceptance regression test for
+// fault injection under the parallel engine: a campaign with a five-kind
+// fault plan, device churn, and lossy access + trunk links must produce
+// byte-identical Summary output, Prometheus snapshots and canonical trace
+// spans across Domains ∈ {1, 2, NumCPU}. Run under -race in CI, it also
+// proves every fault sub-event executes in its owning domain.
+func TestPDESFaultedCampaignDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("faulted determinism matrix is slow")
+	}
+	wantSummary, wantProm, wantSpans := pdesFaultedArtifacts(t, 1, 1)
+	if !strings.Contains(wantSummary, "faults") {
+		t.Fatalf("faulted baseline injected nothing:\n%s", wantSummary)
+	}
+	if wantSpans == "" {
+		t.Fatal("faulted baseline produced no trace spans")
+	}
+	cpus := runtime.NumCPU()
+	if cpus < 4 {
+		cpus = 4
+	}
+	for _, tc := range []struct{ domains, workers int }{
+		{2, 0},
+		{cpus, 0},
+	} {
+		summary, prom, spans := pdesFaultedArtifacts(t, tc.domains, tc.workers)
+		if summary != wantSummary {
+			t.Fatalf("domains=%d workers=%d: faulted Summary diverged\n--- serial ---\n%s--- parallel ---\n%s",
+				tc.domains, tc.workers, wantSummary, summary)
+		}
+		if prom != wantProm {
+			t.Fatalf("domains=%d workers=%d: faulted Prometheus snapshot diverged (%d vs %d bytes)",
+				tc.domains, tc.workers, len(wantProm), len(prom))
+		}
+		if spans != wantSpans {
+			t.Fatalf("domains=%d workers=%d: faulted canonical span output diverged (%d vs %d bytes)",
+				tc.domains, tc.workers, len(wantSpans), len(spans))
+		}
 	}
 }
 

@@ -135,8 +135,10 @@ type Config struct {
 	// and device group g lives in domain 1 + g mod (Domains-1). Values
 	// <= 1 run the classic single-scheduler path. Results are
 	// byte-identical either way; Domains > 1 only buys parallelism.
-	// Churn, fault plans and random link loss are rejected in partitioned
-	// mode (they mutate cross-domain state through shared RNG streams).
+	// Churn, fault plans and random link loss all run partitioned: every
+	// random draw comes from a per-entity stream (per device, per link
+	// direction) and every fault mutates state only from its owning
+	// domain's scheduler, so degraded campaigns replay exactly.
 	Domains int
 	// PDESWorkers bounds how many domains execute concurrently
 	// (0 = Domains). Ignored when Domains <= 1.
@@ -177,21 +179,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// validate rejects configurations whose features cannot run partitioned.
+// validate rejects inconsistent configurations. Partitioned mode no longer
+// gates features: churn, fault plans and lossy links all run under the
+// PDES engine with per-entity RNG streams and domain-local fault routing.
 func (c Config) validate() error {
 	if c.EdgeServers && c.DeviceGroups < 2 {
 		return fmt.Errorf("testbed: EdgeServers requires DeviceGroups >= 2 (got %d)", c.DeviceGroups)
-	}
-	if c.Domains <= 1 {
-		return nil
-	}
-	switch {
-	case c.Churn.Enabled:
-		return fmt.Errorf("testbed: churn is not supported with Domains=%d (shared churn RNG crosses domains); run serial", c.Domains)
-	case !c.Faults.Empty():
-		return fmt.Errorf("testbed: fault plans are not supported with Domains=%d (injector state crosses domains); run serial", c.Domains)
-	case c.Link.LossProb > 0 || c.TrunkLink.LossProb > 0:
-		return fmt.Errorf("testbed: random link loss is not supported with Domains=%d (shared loss RNG crosses domains); run serial", c.Domains)
 	}
 	return nil
 }
@@ -238,7 +231,11 @@ type Testbed struct {
 
 	injector *faults.Injector
 	devSups  []*container.Supervisor
-	churnGen map[*container.Container]int
+	// churn holds one private RNG stream and reboot generation per device,
+	// keyed by (seed, device index). The map is fully populated at New and
+	// only read afterwards; each entry is touched exclusively from its
+	// device's domain, which is what lets churn run under the PDES engine.
+	churn map[*container.Container]*churnState
 
 	reg *telemetry.Registry
 	// engineReg holds the per-domain PDES gauges. They live in their own
@@ -250,9 +247,19 @@ type Testbed struct {
 
 	idsUnits []*ids.Unit
 
-	churnRNG *sim.RNG
-	started  bool
+	started bool
 }
+
+// churnState is one device's churn bookkeeping: a private RNG for its
+// up/down interval draws and a generation counter that cancels stale
+// reboot callbacks. Mutated only on the device's own scheduler.
+type churnState struct {
+	rng *sim.RNG
+	gen int
+}
+
+// churnStreamKey salts the per-device (seed, device index) churn streams.
+const churnStreamKey = 0x6465762d636875 // "dev-chu"
 
 // New assembles the full topology. Nothing runs until Start.
 func New(cfg Config) (*Testbed, error) {
@@ -261,9 +268,8 @@ func New(cfg Config) (*Testbed, error) {
 		return nil, err
 	}
 	tb := &Testbed{
-		cfg:      cfg,
-		churnRNG: sim.Substream(cfg.Seed, "testbed/churn"),
-		churnGen: make(map[*container.Container]int),
+		cfg:   cfg,
+		churn: make(map[*container.Container]*churnState),
 	}
 	if cfg.Domains > 1 {
 		tb.engine = sim.NewEngine(cfg.Domains, 0)
@@ -273,6 +279,9 @@ func New(cfg Config) (*Testbed, error) {
 		tb.sched = sim.NewScheduler()
 		tb.network = netsim.New(tb.sched)
 	}
+	// Root the network's derived per-link RNG streams (random loss on
+	// access or trunk links configured without an explicit RNG).
+	tb.network.SetSeed(cfg.Seed)
 	// Telemetry hub first, so every NIC, link and switch created below
 	// registers its counters at construction time.
 	tb.reg = telemetry.NewRegistry()
@@ -445,6 +454,9 @@ func New(cfg Config) (*Testbed, error) {
 			return nil, fmt.Errorf("testbed: %w", err)
 		}
 		tb.devs = append(tb.devs, DeviceHandle{Container: devC, Device: dev})
+		// Per-device churn stream, fixed now so the map is read-only once
+		// the simulation runs (entries mutate only in the owning domain).
+		tb.churn[devC] = &churnState{rng: sim.KeyedStream(cfg.Seed, churnStreamKey, uint64(i))}
 	}
 
 	// Fault injection: register every container in creation order so glob
@@ -564,7 +576,7 @@ func (tb *Testbed) Start() {
 	for i := range tb.devs {
 		c := tb.devs[i].Container
 		c.Start()
-		tb.devSups = append(tb.devSups, tb.runtime.Supervise(c, tb.deviceSupervision()))
+		tb.devSups = append(tb.devSups, tb.runtime.Supervise(c, tb.deviceSupervision(c)))
 		if tb.cfg.Churn.Enabled {
 			tb.scheduleChurn(c)
 		}
@@ -576,10 +588,12 @@ func (tb *Testbed) Start() {
 
 // deviceSupervision builds the supervisor config for one device container:
 // Config.Supervision with testbed policy on top. Crashed devices restart by
-// default; with churn enabled the restart delay is the churn model's
-// exponential outage draw and every supervised restart re-arms the next
-// churn cycle.
-func (tb *Testbed) deviceSupervision() container.SupervisorConfig {
+// default; with churn enabled the restart delay is the device's own churn
+// stream's exponential outage draw and every supervised restart re-arms the
+// next churn cycle. Both draws come from the same per-device RNG, so a
+// device's up/down sequence depends only on its own reboot history — never
+// on how other devices' events interleave, in either execution mode.
+func (tb *Testbed) deviceSupervision(c *container.Container) container.SupervisorConfig {
 	cfg := tb.cfg.Supervision
 	if cfg.Policy == container.RestartNever {
 		cfg.Policy = container.RestartOnFailure
@@ -587,8 +601,9 @@ func (tb *Testbed) deviceSupervision() container.SupervisorConfig {
 	if tb.cfg.Churn.Enabled {
 		cfg.Policy = container.RestartAlways
 		if cfg.Delay == nil {
+			st := tb.churn[c]
 			cfg.Delay = func(int) time.Duration {
-				return time.Duration(tb.churnRNG.Exp(float64(tb.cfg.Churn.MeanDown)))
+				return time.Duration(st.rng.Exp(float64(tb.cfg.Churn.MeanDown)))
 			}
 		}
 		prev := cfg.OnRestart
@@ -602,19 +617,22 @@ func (tb *Testbed) deviceSupervision() container.SupervisorConfig {
 	return cfg
 }
 
-// scheduleChurn arms the next reboot for one device container. A reboot is
-// a crash exit (Kill); the device's supervisor brings it back after the
-// churn outage draw and re-arms the next cycle via OnRestart. A generation
-// counter retires the pending timer when the supervisor restarts the device
-// for another reason first, and the running-state guard keeps a stale timer
-// from touching a container a fault plan or operator took down — nothing
-// silently resurrects a deliberately stopped device anymore.
+// scheduleChurn arms the next reboot for one device container, on the
+// device's own scheduler (the supervisor, the kill and the restart all
+// stay inside the device's domain). A reboot is a crash exit (Kill); the
+// device's supervisor brings it back after the churn outage draw and
+// re-arms the next cycle via OnRestart. A generation counter retires the
+// pending timer when the supervisor restarts the device for another reason
+// first, and the running-state guard keeps a stale timer from touching a
+// container a fault plan or operator took down — nothing silently
+// resurrects a deliberately stopped device anymore.
 func (tb *Testbed) scheduleChurn(c *container.Container) {
-	tb.churnGen[c]++
-	gen := tb.churnGen[c]
-	up := time.Duration(tb.churnRNG.Exp(float64(tb.cfg.Churn.MeanUp)))
-	tb.sched.After(up, func() {
-		if tb.churnGen[c] != gen || c.State() != container.StateRunning {
+	st := tb.churn[c]
+	st.gen++
+	gen := st.gen
+	up := time.Duration(st.rng.Exp(float64(tb.cfg.Churn.MeanUp)))
+	c.Scheduler().After(up, func() {
+		if st.gen != gen || c.State() != container.StateRunning {
 			return
 		}
 		c.Kill()
