@@ -8,6 +8,9 @@
 //	benchperf -sweep                also run the (slow) parallel resilience sweep
 //	benchperf -pdes                 run the serial-vs-parallel engine benchmark,
 //	                                write BENCH_pdes.json
+//	benchperf -pdes -pdes-scale 1000,10000,100000
+//	                                also sweep fleet sizes and report heap bytes
+//	                                per device and devices-per-wall-second
 package main
 
 import (
@@ -185,14 +188,23 @@ type pdesDoc struct {
 	*experiments.PDESReport
 }
 
-func runPDES(out, workersCSV string, devices int, dur time.Duration) error {
-	var workers []int
-	for _, f := range strings.Split(workersCSV, ",") {
-		w, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || w < 1 {
-			return fmt.Errorf("bad -pdes-workers value %q", f)
+// parseCounts parses a comma-separated list of positive integers.
+func parseCounts(csv, flagName string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad %s value %q", flagName, f)
 		}
-		workers = append(workers, w)
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func runPDES(out, workersCSV, scaleCSV string, devices int, dur, scaleDur time.Duration) error {
+	workers, err := parseCounts(workersCSV, "-pdes-workers")
+	if err != nil {
+		return err
 	}
 	sc := experiments.DefaultPDES()
 	if devices > 0 {
@@ -204,6 +216,20 @@ func runPDES(out, workersCSV string, devices int, dur time.Duration) error {
 	rep, err := sc.RunPDESBench(workers)
 	if err != nil {
 		return err
+	}
+	if scaleCSV != "" {
+		counts, err := parseCounts(scaleCSV, "-pdes-scale")
+		if err != nil {
+			return err
+		}
+		rep.Scale, err = experiments.RunScaleBench(experiments.ScaleConfig{
+			Seed:     sc.Seed,
+			Counts:   counts,
+			Duration: scaleDur,
+		})
+		if err != nil {
+			return err
+		}
 	}
 	doc := pdesDoc{GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(), PDESReport: rep}
 	if doc.GoMaxProcs < 4 {
@@ -229,6 +255,10 @@ func runPDES(out, workersCSV string, devices int, dur time.Duration) error {
 	fmt.Printf("faulted domains=%d workers=%d %10.1f ms  %.2fx\n",
 		rep.FaultedParallel.Domains, rep.FaultedParallel.Workers,
 		rep.FaultedParallel.WallMS, rep.FaultedParallel.Speedup)
+	for _, pt := range rep.Scale {
+		fmt.Printf("scale devices=%-7d domains=%d %10.1f ms  %8.0f B/device  %12.0f devices/wall-s\n",
+			pt.Devices, pt.Domains, pt.WallMS, pt.HeapBytesPerDevice, pt.DevicesPerWallSecond)
+	}
 	fmt.Println("wrote", out)
 	return nil
 }
@@ -241,10 +271,12 @@ func main() {
 	pdesWorkers := flag.String("pdes-workers", "1,2,4,8", "comma-separated worker counts for -pdes")
 	pdesDevices := flag.Int("pdes-devices", 0, "override the -pdes fleet size (0 = scenario default)")
 	pdesDur := flag.Duration("pdes-duration", 0, "override the -pdes simulated duration (0 = scenario default)")
+	pdesScale := flag.String("pdes-scale", "", "comma-separated device counts for the fleet-size sweep (empty = skip)")
+	pdesScaleDur := flag.Duration("pdes-scale-duration", 0, "simulated duration per scale-sweep run (0 = sweep default)")
 	flag.Parse()
 
 	if *pdes {
-		if err := runPDES(*pdesOut, *pdesWorkers, *pdesDevices, *pdesDur); err != nil {
+		if err := runPDES(*pdesOut, *pdesWorkers, *pdesScale, *pdesDevices, *pdesDur, *pdesScaleDur); err != nil {
 			fmt.Fprintln(os.Stderr, "benchperf:", err)
 			os.Exit(1)
 		}

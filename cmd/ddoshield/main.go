@@ -7,6 +7,7 @@
 // Usage:
 //
 //	ddoshield -duration 10m -devices 20 -out dataset.csv -pcap run.pcap
+//	ddoshield -devices 1000 -groups 8 -domains 4     # partitioned fleet run
 package main
 
 import (
@@ -35,6 +36,7 @@ func run() error {
 	var (
 		duration  = flag.Duration("duration", 2*time.Minute, "simulated run length")
 		devices   = flag.Int("devices", 10, "IoT device count")
+		groups    = flag.Int("groups", 0, "split the fleet across this many edge switches (0/1 = flat single-switch topology); devices are packed by the load-aware partitioner")
 		seed      = flag.Int64("seed", 42, "simulation seed")
 		warmup    = flag.Duration("warmup", 30*time.Second, "benign-only lead before the first attack wave")
 		attackDur = flag.Duration("attack", 12*time.Second, "duration of each flood vector")
@@ -85,6 +87,7 @@ func run() error {
 		tb, err = testbed.New(testbed.Config{
 			Seed:            *seed,
 			NumDevices:      *devices,
+			DeviceGroups:    *groups,
 			Churn:           testbed.ChurnConfig{Enabled: *churn},
 			TraceSampleRate: *traceSample,
 			Domains:         *domains,

@@ -110,7 +110,8 @@ func (r *Runtime) Create(spec Spec, sw *netsim.Switch, link netsim.LinkConfig) (
 	}
 	node := r.net.NewNodeInDomain(spec.Name, spec.Domain)
 	nic := node.AddNIC()
-	l := r.net.Connect(nic, sw.NewPort(), link)
+	port := sw.NewPort()
+	l := r.net.Connect(nic, port, link)
 	host := netstack.NewHost(nic, spec.Host)
 	c := &Container{
 		runtime: r,
@@ -118,10 +119,10 @@ func (r *Runtime) Create(spec Spec, sw *netsim.Switch, link netsim.LinkConfig) (
 		image:   spec.Image,
 		node:    node,
 		link:    l,
+		port:    port,
 		host:    host,
 		app:     spec.App,
 		state:   StateCreated,
-		mem:     make(map[string]int64),
 	}
 	r.containers = append(r.containers, c)
 	r.byName[spec.Name] = c
@@ -146,12 +147,13 @@ type Container struct {
 	image   string
 	node    *netsim.Node
 	link    *netsim.Link
+	port    netsim.Port
 	host    *netstack.Host
 	app     App
 	state   State
 
 	cpu      time.Duration    // accumulated attributed compute time
-	mem      map[string]int64 // labeled live memory accounts, bytes
+	mem      map[string]int64 // labeled live memory accounts, bytes (lazy)
 	memPeak  int64
 	started  sim.Time
 	stopped  sim.Time
@@ -176,6 +178,10 @@ func (c *Container) Addr() packet.Addr { return c.host.Addr() }
 
 // Link returns the container's uplink; churn models cut and restore it.
 func (c *Container) Link() *netsim.Link { return c.link }
+
+// SwitchPort is the switch-side port the container's access link lands on
+// (the argument topology primers pass to Switch.Learn).
+func (c *Container) SwitchPort() netsim.Port { return c.port }
 
 // State reports the lifecycle state.
 func (c *Container) State() State { return c.state }
@@ -281,6 +287,9 @@ func (c *Container) halt(crash bool) {
 	// Unplug our own side only (domain-local; see Start). Frames already
 	// heading for the dead container transmit and are then cut in flight.
 	c.host.NIC().SetLinkUp(false)
+	// With the app stopped its sockets are gone; hand any now-empty stack
+	// tables back to the shared pools until the next start needs them.
+	c.host.ReleaseIdle()
 }
 
 // SetApp replaces the hosted app; the replacement starts with the container.
@@ -313,6 +322,9 @@ func (c *Container) SetMem(label string, bytes int64) {
 	if bytes <= 0 {
 		delete(c.mem, label)
 	} else {
+		if c.mem == nil {
+			c.mem = make(map[string]int64)
+		}
 		c.mem[label] = bytes
 	}
 	if t := c.MemBytes(); t > c.memPeak {

@@ -57,11 +57,76 @@ var (
 	ProfileSmartTV = Profile{
 		Kind: "smart-tv", Video: true,
 	}
+	// ProfileIdle is a hardened device with no client workloads at all: it
+	// answers telnet probes (always refusing) and otherwise sits silent.
+	// Large-scale fleets are mostly idle, which is what makes 100k-device
+	// topologies cheap — an idle flyweight device is just a template
+	// pointer, a seed, and a lazily-populated host.
+	ProfileIdle = Profile{Kind: "idle"}
 )
 
 // DefaultFleet cycles the built-in profiles: 3 of 5 classes vulnerable.
 var DefaultFleet = []Profile{
 	ProfileIPCamera, ProfileDVR, ProfileRouter, ProfileSensor, ProfileSmartTV,
+}
+
+// ScaleFleet is the profile mix for large-scale fleet benchmarks: a small
+// active head (one chatty camera, one fast sensor) on a mostly-idle body,
+// cycled per 16 devices. Real IoT deployments are dominated by devices
+// that sit silent between rare reports, so this is the mix the
+// devices-per-wall-second headline is measured against.
+var ScaleFleet = []Profile{
+	ProfileIPCamera, ProfileSensor,
+	ProfileIdle, ProfileIdle, ProfileIdle, ProfileIdle, ProfileIdle,
+	ProfileIdle, ProfileIdle, ProfileIdle, ProfileIdle, ProfileIdle,
+	ProfileIdle, ProfileIdle, ProfileIdle, ProfileIdle,
+}
+
+// Event-rate model for load-aware placement. Units are arbitrary — only
+// ratios between device classes matter to the partitioner.
+const (
+	// idleEventWeight is the baseline every device carries: a telnet
+	// listener that answers scanner probes.
+	idleEventWeight = 1.0
+	// eventsPerRequest approximates the simulator events one benign
+	// request/response exchange costs (TCP handshake, data, teardown,
+	// timers) — the multiplier on each client's request rate.
+	eventsPerRequest = 12.0
+	// botEventWeight dominates everything else: an infected device floods
+	// at hundreds of packets per second while benign chatter is measured
+	// in requests per tens of seconds.
+	botEventWeight = 400.0
+)
+
+// EventWeight estimates this class's steady-state event rate in arbitrary
+// units, for load-aware domain placement: potential bots dominate, benign
+// chatters contribute inversely to their think times, idle devices
+// contribute only the listener baseline. infectable says whether the
+// device can actually be conscripted (vulnerable credential AND reachable
+// by the attacker's scan range).
+func (p Profile) EventWeight(meanThink time.Duration, infectable bool) float64 {
+	if meanThink <= 0 {
+		meanThink = 5 * time.Second
+	}
+	think := meanThink
+	if p.ThinkScale > 0 {
+		think = time.Duration(float64(think) * p.ThinkScale)
+	}
+	perReq := eventsPerRequest / think.Seconds()
+	w := idleEventWeight
+	if p.HTTP {
+		w += perReq
+	}
+	if p.Video {
+		w += perReq / 2
+	}
+	if p.FTP {
+		w += perReq / 3
+	}
+	if infectable && p.Cred.User != "" {
+		w += botEventWeight
+	}
+	return w
 }
 
 // Config wires a Device to its environment.
@@ -82,9 +147,15 @@ type Config struct {
 }
 
 // Device is one Dev: telnet service + benign clients + (after infection) a
-// bot. It implements container.App.
+// bot. It implements container.App. The struct is a flyweight — class
+// behaviour lives in the shared Template, the device itself carries only
+// its identity (name, seed) and runtime state, and the app/service objects
+// exist only while the device is running.
 type Device struct {
-	cfg    Config
+	tmpl *Template
+	name string
+	seed int64
+
 	telnet *TelnetService
 	http   *httpapp.Client
 	video  *rtmpapp.Client
@@ -98,12 +169,17 @@ type Device struct {
 
 var _ container.App = (*Device)(nil)
 
-// New returns an unstarted device.
+// New returns an unstarted device with a private single-use template.
+// Fleets should build one Template per device class and Instantiate from
+// it instead, so class state is shared across all instances.
 func New(cfg Config) *Device {
-	if cfg.MeanThink <= 0 {
-		cfg.MeanThink = 5 * time.Second
-	}
-	return &Device{cfg: cfg}
+	tmpl := NewTemplate(TemplateConfig{
+		Profile:    cfg.Profile,
+		TServer:    cfg.TServer,
+		SpoofRange: cfg.SpoofRange,
+		MeanThink:  cfg.MeanThink,
+	})
+	return tmpl.Instantiate(cfg.Name, cfg.Seed)
 }
 
 // Start implements container.App: it brings up the telnet service and the
@@ -120,31 +196,30 @@ func (d *Device) StartOn(h *netstack.Host) {
 	}
 	d.running = true
 	d.host = h
-	p := d.cfg.Profile
-	d.telnet = NewTelnetService(p.Cred.User, p.Cred.Pass)
-	d.telnet.OnInstall = d.install
+	t := d.tmpl
+	if d.telnet == nil {
+		d.telnet = new(TelnetService)
+	}
+	d.telnet.rearm(t.profile.Cred.User, t.profile.Cred.Pass, d.install)
 	// Port 23 is bound fresh each start; errors only occur on double start.
 	_ = d.telnet.Attach(h)
-	think := d.cfg.MeanThink
-	if p.ThinkScale > 0 {
-		think = time.Duration(float64(think) * p.ThinkScale)
-	}
-	if p.HTTP {
-		d.http = httpapp.NewClient(d.cfg.TServer, 0, think, d.cfg.Seed+1)
+	if t.profile.HTTP {
+		d.http = httpapp.NewClient(t.tserver, 0, t.think, d.seed+1)
 		d.http.Attach(h)
 	}
-	if p.Video {
-		d.video = rtmpapp.NewClient(d.cfg.TServer, 0, 2*think, d.cfg.Seed+2)
+	if t.profile.Video {
+		d.video = rtmpapp.NewClient(t.tserver, 0, 2*t.think, d.seed+2)
 		d.video.Attach(h)
 	}
-	if p.FTP {
-		d.ftp = ftpapp.NewClient(d.cfg.TServer, 0, "anonymous", "iot@dev", 3*think, d.cfg.Seed+3)
+	if t.profile.FTP {
+		d.ftp = ftpapp.NewClient(t.tserver, 0, "anonymous", "iot@dev", 3*t.think, d.seed+3)
 		d.ftp.Attach(h)
 	}
 }
 
 // Stop implements container.App: everything is torn down, including any
-// implant — Mirai does not survive a reboot.
+// implant — Mirai does not survive a reboot. The telnet service object is
+// retained for this device's next start.
 func (d *Device) Stop() {
 	if !d.running {
 		return
@@ -155,8 +230,9 @@ func (d *Device) Stop() {
 		d.bot = nil
 	}
 	if d.telnet != nil {
+		// Detach only — the service object stays with this device for its
+		// next start (see rearm for why it must never change owners).
 		d.telnet.Detach()
-		d.telnet = nil
 	}
 	if d.http != nil {
 		d.http.Detach()
@@ -182,7 +258,7 @@ func (d *Device) install(c2 packet.Addr, port uint16) {
 		d.bot.Detach()
 	}
 	d.infections++
-	d.bot = botnet.NewBot(d.cfg.Name, c2, port, d.cfg.SpoofRange, d.cfg.Seed+9)
+	d.bot = botnet.NewBot(d.name, c2, port, d.tmpl.spoof, d.seed+9)
 	d.bot.Attach(d.host)
 }
 
@@ -195,14 +271,18 @@ func (d *Device) Bot() *botnet.Bot { return d.bot }
 // Infections reports how many times the device has been (re)infected.
 func (d *Device) Infections() uint64 { return d.infections }
 
-// Telnet exposes the telnet service (nil when stopped).
+// Telnet exposes the telnet service (nil before the first start; retained,
+// detached, while stopped).
 func (d *Device) Telnet() *TelnetService { return d.telnet }
 
 // Profile reports the device's profile.
-func (d *Device) Profile() Profile { return d.cfg.Profile }
+func (d *Device) Profile() Profile { return d.tmpl.profile }
+
+// Template reports the shared class template backing this device.
+func (d *Device) Template() *Template { return d.tmpl }
 
 // Vulnerable reports whether the profile carries a factory credential.
-func (d *Device) Vulnerable() bool { return d.cfg.Profile.Cred.User != "" }
+func (d *Device) Vulnerable() bool { return d.tmpl.profile.Cred.User != "" }
 
 // BenignStats aggregates the benign clients' request/transfer counters.
 func (d *Device) BenignStats() (started, completed uint64) {

@@ -321,3 +321,37 @@ func TestDeviceReinfectionAfterReboot(t *testing.T) {
 		t.Fatalf("Infections() = %d, want >= 2", dev.Infections())
 	}
 }
+
+// TestTelnetServiceRetainedPerDevice pins the service-object ownership
+// rule: a device keeps its own TelnetService across restarts (same object,
+// re-armed) and two devices never share one. Telnet sessions opened before
+// a crash outlive Stop(), so a service that changed owners would leak one
+// device's credential and install hook into another's late events — and
+// which device inherited the object would depend on runtime scheduling,
+// breaking cross-run determinism in churned campaigns.
+func TestTelnetServiceRetainedPerDevice(t *testing.T) {
+	r := newRig()
+	hostA, hostB := r.host(10), r.host(11)
+	devA := New(Config{Name: "a", Profile: ProfileDVR, Seed: 1, MeanThink: time.Hour})
+	devB := New(Config{Name: "b", Profile: ProfileDVR, Seed: 2, MeanThink: time.Hour})
+	devA.StartOn(hostA)
+	devB.StartOn(hostB)
+	if devA.Telnet() == devB.Telnet() {
+		t.Fatal("two devices share one TelnetService")
+	}
+	svc := devA.Telnet()
+	if svc == nil {
+		t.Fatal("no service after start")
+	}
+	devA.Stop()
+	if devA.Telnet() != svc {
+		t.Fatal("Stop released the service object")
+	}
+	devA.StartOn(hostA)
+	if devA.Telnet() != svc {
+		t.Fatal("restart did not reuse the device's own service")
+	}
+	if devA.Telnet() == devB.Telnet() {
+		t.Fatal("restart handed over another device's service")
+	}
+}

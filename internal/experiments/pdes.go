@@ -131,6 +131,9 @@ type PDESReport struct {
 	// FaultedSerial.
 	FaultedSerial   PDESPoint `json:"faulted_serial"`
 	FaultedParallel PDESPoint `json:"faulted_parallel"`
+	// Scale, when populated (benchperf -pdes-scale), holds the fleet-size
+	// sweep: heap bytes per device and devices-per-wall-second per count.
+	Scale []ScalePoint `json:"scale,omitempty"`
 }
 
 // runOnce executes one configuration and returns its point plus the

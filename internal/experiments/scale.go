@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"ddoshield/internal/devices"
+	"ddoshield/internal/netsim"
+	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry"
+	"ddoshield/internal/testbed"
+)
+
+// ScaleConfig parameterizes the fleet-scale benchmark: a sweep over device
+// counts measuring the two numbers that gate million-device campaigns —
+// heap bytes per device (the memory wall) and devices-per-wall-second
+// (the throughput headline). Each count runs the same campaign under
+// Domains ∈ DomainSet and cross-checks byte-identical Summary and
+// Prometheus output, so the scale numbers are only ever reported for runs
+// the determinism machinery has vouched for.
+type ScaleConfig struct {
+	Seed int64
+	// Counts is the fleet-size sweep (default 1k/10k/100k).
+	Counts []int
+	// Duration is simulated time per run (default 5 s).
+	Duration time.Duration
+	// MeanThink paces the active minority of the fleet (default 60 s: a
+	// mostly-idle fleet, the regime large IoT deployments live in).
+	MeanThink time.Duration
+	// TrunkDelay bounds the engine lookahead (default 5 ms).
+	TrunkDelay time.Duration
+	// DomainSet is the Domains values each count is verified under; the
+	// fastest partitioned member supplies the headline (default {1, 2,
+	// min(NumCPU, groups+1)}).
+	DomainSet []int
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if len(c.Counts) == 0 {
+		c.Counts = []int{1_000, 10_000, 100_000}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.MeanThink <= 0 {
+		c.MeanThink = 60 * time.Second
+	}
+	if c.TrunkDelay <= 0 {
+		c.TrunkDelay = 5 * time.Millisecond
+	}
+	return c
+}
+
+// ScalePoint is one fleet size's measurements.
+type ScalePoint struct {
+	Devices int `json:"devices"`
+	Groups  int `json:"groups"`
+	// Domains/Workers identify the fastest partitioned configuration; the
+	// headline numbers below come from it.
+	Domains    int     `json:"domains"`
+	Workers    int     `json:"workers"`
+	SimSeconds float64 `json:"sim_seconds"`
+	// HeapBytesPerDevice is the live-heap delta of building and starting
+	// the fleet, divided by the device count (runtime.MemStats.HeapAlloc
+	// after a forced GC on both sides).
+	HeapBytesPerDevice float64 `json:"heap_bytes_per_device"`
+	// BuildMS is the wall clock to construct and start the topology.
+	BuildMS float64 `json:"build_ms"`
+	// WallMS is the fastest campaign wall clock across DomainSet runs;
+	// SerialWallMS is the Domains=1 member for reference.
+	WallMS       float64 `json:"wall_ms"`
+	SerialWallMS float64 `json:"serial_wall_ms"`
+	Events       uint64  `json:"events"`
+	// DevicesPerWallSecond is the headline: device-simulated-seconds
+	// delivered per wall-clock second (Devices x SimSeconds / wall).
+	DevicesPerWallSecond float64 `json:"devices_per_wall_second"`
+}
+
+// scaleGroups picks the edge-switch count for a fleet: one group per ~256
+// devices, between 4 and 64.
+func scaleGroups(devices int) int {
+	g := devices / 256
+	if g < 4 {
+		g = 4
+	}
+	if g > 64 {
+		g = 64
+	}
+	return g
+}
+
+// scaleFleet is devices.ScaleFleet restricted to HTTP workloads (the edge
+// servers speak HTTP only).
+func scaleFleet() []devices.Profile {
+	fleet := make([]devices.Profile, 0, len(devices.ScaleFleet))
+	for _, p := range devices.ScaleFleet {
+		p.Video, p.FTP = false, false
+		fleet = append(fleet, p)
+	}
+	return fleet
+}
+
+// liveHeap forces two GC cycles (the second collects pool contents freed
+// by the first) and reports the live heap.
+func liveHeap() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// buildScale assembles the scale topology for one count at one domain
+// setting.
+func (c ScaleConfig) buildScale(count, groups, domains int) (*testbed.Testbed, error) {
+	return testbed.New(testbed.Config{
+		Seed:         c.Seed,
+		NumDevices:   count,
+		DeviceGroups: groups,
+		EdgeServers:  true,
+		Profiles:     scaleFleet(),
+		MeanThink:    c.MeanThink,
+		TrunkLink:    netsim.LinkConfig{Delay: sim.FromDuration(c.TrunkDelay)},
+		Domains:      domains,
+		// At fleet scale, dynamic ARP floods (one broadcast = one delivery
+		// per host) would dominate the event count; prime the caches so the
+		// sweep measures payload traffic.
+		PrimeARP: true,
+	})
+}
+
+// runScalePoint measures one (count, domains) pair: build+start wall
+// clock, campaign wall clock, event count, and the Summary + Prometheus
+// snapshots for the byte-identity cross-check.
+func (c ScaleConfig) runScalePoint(count, groups, domains int) (buildMS, wallMS float64, events uint64, summary, prom string, err error) {
+	tb, err := c.buildScale(count, groups, domains)
+	if err != nil {
+		return 0, 0, 0, "", "", err
+	}
+	buildStart := time.Now()
+	tb.Start()
+	buildMS = float64(time.Since(buildStart).Nanoseconds()) / 1e6
+	runStart := time.Now()
+	if err := tb.Run(c.Duration); err != nil {
+		return 0, 0, 0, "", "", err
+	}
+	wallMS = float64(time.Since(runStart).Nanoseconds()) / 1e6
+	if e := tb.Engine(); e != nil {
+		for i := 0; i < e.NumDomains(); i++ {
+			events += e.Domain(i).Stats().Events
+		}
+	} else {
+		events = tb.Scheduler().Fired()
+	}
+	var b strings.Builder
+	if err := telemetry.WritePrometheus(&b, tb.Registry()); err != nil {
+		return 0, 0, 0, "", "", err
+	}
+	return buildMS, wallMS, events, tb.Summary(), b.String(), nil
+}
+
+// RunScaleBench sweeps the configured fleet sizes. For each count it
+// measures heap bytes per device once (on the widest partitioned build),
+// then runs the campaign under every Domains in DomainSet, requiring
+// byte-identical Summary and Prometheus output across all of them; the
+// fastest partitioned run supplies WallMS and the devices-per-wall-second
+// headline.
+func RunScaleBench(cfg ScaleConfig) ([]ScalePoint, error) {
+	cfg = cfg.withDefaults()
+	var out []ScalePoint
+	for _, count := range cfg.Counts {
+		groups := scaleGroups(count)
+		domainSet := cfg.DomainSet
+		if len(domainSet) == 0 {
+			cpu := runtime.NumCPU()
+			if cpu > groups+1 {
+				cpu = groups + 1
+			}
+			domainSet = []int{1, 2, cpu}
+		}
+
+		// Heap footprint: live-heap delta across build+start of the widest
+		// partitioned topology, amortized per device.
+		widest := domainSet[len(domainSet)-1]
+		before := liveHeap()
+		tb, err := cfg.buildScale(count, groups, widest)
+		if err != nil {
+			return nil, err
+		}
+		tb.Start()
+		after := liveHeap()
+		heapPerDevice := float64(after-before) / float64(count)
+		runtime.KeepAlive(tb)
+
+		pt := ScalePoint{
+			Devices:            count,
+			Groups:             groups,
+			SimSeconds:         cfg.Duration.Seconds(),
+			HeapBytesPerDevice: heapPerDevice,
+		}
+		var wantSummary, wantProm string
+		for _, domains := range domainSet {
+			buildMS, wallMS, events, summary, prom, err := cfg.runScalePoint(count, groups, domains)
+			if err != nil {
+				return nil, err
+			}
+			if wantSummary == "" {
+				wantSummary, wantProm = summary, prom
+			} else if summary != wantSummary {
+				return nil, fmt.Errorf("experiments: scale %d devices: Domains=%d Summary diverged\n--- want ---\n%s--- got ---\n%s",
+					count, domains, wantSummary, summary)
+			} else if prom != wantProm {
+				return nil, fmt.Errorf("experiments: scale %d devices: Domains=%d Prometheus snapshot diverged", count, domains)
+			}
+			if domains == 1 {
+				pt.SerialWallMS = wallMS
+			}
+			if domains > 1 && (pt.WallMS == 0 || wallMS < pt.WallMS) {
+				pt.Domains = domains
+				pt.Workers = domains
+				pt.WallMS = wallMS
+				pt.BuildMS = buildMS
+				pt.Events = events
+			}
+		}
+		if pt.WallMS == 0 {
+			// DomainSet held only serial runs; report those.
+			pt.Domains, pt.Workers, pt.WallMS = 1, 1, pt.SerialWallMS
+		}
+		pt.DevicesPerWallSecond = float64(count) * pt.SimSeconds / (pt.WallMS / 1e3)
+		out = append(out, pt)
+	}
+	return out, nil
+}

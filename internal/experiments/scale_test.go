@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestHeapBudget10kDevices is the CI memory budget: building and starting
+// a 10k-device partitioned fleet must stay under 16 KiB of live heap per
+// device. The measured footprint is ~5.7 KiB/device (see EXPERIMENTS.md),
+// so the budget carries ~3x headroom for GC noise while still failing on
+// a real regression — reintroducing eager per-device maps, RNGs, or
+// telemetry series costs several KiB each and blows straight through it.
+func TestHeapBudget10kDevices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-device build is too heavy for -short")
+	}
+	cfg := ScaleConfig{Seed: 42}.withDefaults()
+	const count = 10_000
+	groups := scaleGroups(count)
+
+	before := liveHeap()
+	tb, err := cfg.buildScale(count, groups, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Start()
+	after := liveHeap()
+	perDevice := float64(after-before) / float64(count)
+	runtime.KeepAlive(tb)
+
+	const budget = 16 * 1024
+	t.Logf("heap: %.0f B/device (%d devices, %d groups, budget %d B)",
+		perDevice, count, groups, budget)
+	if perDevice > budget {
+		t.Fatalf("heap budget exceeded: %.0f B/device > %d B/device", perDevice, budget)
+	}
+}
+
+// TestRunScaleBenchSmoke exercises the full sweep machinery on a small
+// fleet: every point must report a positive throughput headline and the
+// byte-identity cross-check inside RunScaleBench must hold across the
+// serial and partitioned runs.
+func TestRunScaleBenchSmoke(t *testing.T) {
+	pts, err := RunScaleBench(ScaleConfig{
+		Seed:      7,
+		Counts:    []int{300},
+		Duration:  500 * time.Millisecond,
+		DomainSet: []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("got %d points, want 1", len(pts))
+	}
+	pt := pts[0]
+	if pt.Devices != 300 || pt.Groups != scaleGroups(300) {
+		t.Fatalf("point mislabeled: %+v", pt)
+	}
+	if pt.Domains != 2 || pt.Workers != 2 {
+		t.Fatalf("headline should come from the partitioned run: %+v", pt)
+	}
+	if pt.WallMS <= 0 || pt.SerialWallMS <= 0 || pt.Events == 0 {
+		t.Fatalf("missing measurements: %+v", pt)
+	}
+	if pt.HeapBytesPerDevice <= 0 {
+		t.Fatalf("heap per device not measured: %+v", pt)
+	}
+	if pt.DevicesPerWallSecond <= 0 {
+		t.Fatalf("no throughput headline: %+v", pt)
+	}
+}

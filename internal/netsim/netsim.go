@@ -14,6 +14,7 @@ import (
 	"cmp"
 	"fmt"
 	"slices"
+	"sync"
 
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
@@ -71,6 +72,12 @@ type Network struct {
 	// draws) derived at Connect time for configs that do not supply their
 	// own RNG. See SetSeed.
 	seed int64
+
+	// metricLimit caps how many entities (NICs, links, switches) register
+	// per-entity metric series; 0 is unlimited. metricEntities counts the
+	// ones that did. See SetMetricEntityLimit.
+	metricLimit    int
+	metricEntities int
 }
 
 // New creates an empty network driven by sched.
@@ -176,8 +183,33 @@ func (n *Network) SetTracer(tr *trace.Tracer) { n.tracer = tr }
 // trace API is nil-receiver safe, so callers use the result directly).
 func (n *Network) Tracer() *trace.Tracer { return n.tracer }
 
-func (n *Network) registerNIC(c *NIC) {
+// SetMetricEntityLimit caps per-entity metric registration: only the
+// first limit entities (NICs, links and switches combined, in creation
+// order) publish their counters into the registry; later ones still
+// count — Stats()/Counters() read the same fields — but stay out of the
+// snapshot. Fleet-scale topologies use this so metric cardinality does
+// not grow with the device count. Creation order is a pure function of
+// the topology, never of the execution mode, so which entities register
+// is deterministic and identical across Domains settings. 0 (the
+// default) is unlimited. Must be set before entities are created or
+// SetTelemetry is called.
+func (n *Network) SetMetricEntityLimit(limit int) { n.metricLimit = limit }
+
+// metricSlot reports whether one more entity may register its series,
+// consuming a slot when it can.
+func (n *Network) metricSlot() bool {
 	if n.reg == nil {
+		return false
+	}
+	if n.metricLimit > 0 && n.metricEntities >= n.metricLimit {
+		return false
+	}
+	n.metricEntities++
+	return true
+}
+
+func (n *Network) registerNIC(c *NIC) {
+	if !n.metricSlot() {
 		return
 	}
 	l := telemetry.L("nic", c.name)
@@ -189,7 +221,7 @@ func (n *Network) registerNIC(c *NIC) {
 }
 
 func (n *Network) registerLink(l *Link) {
-	if n.reg == nil {
+	if !n.metricSlot() {
 		return
 	}
 	for _, d := range l.dirs {
@@ -206,7 +238,7 @@ func (n *Network) registerLink(l *Link) {
 }
 
 func (n *Network) registerSwitch(s *Switch) {
-	if n.reg == nil {
+	if !n.metricSlot() {
 		return
 	}
 	l := telemetry.L("switch", s.name)
@@ -551,6 +583,13 @@ type direction struct {
 	queue  []queuedFrame
 	queued int // bytes waiting (excluding the frame in transmission)
 	busy   bool
+	// doneFn is the serialization-complete handler, bound once at Connect;
+	// curLen is the length of the frame occupying the transmitter. One
+	// frame serializes at a time per direction (busy gates transmit), so a
+	// single slot suffices — and the hot path schedules a pre-bound
+	// handler instead of allocating a closure per frame.
+	doneFn sim.Handler
+	curLen int
 
 	// sched is the sending port's scheduler: queueing, serialization and
 	// loss draws execute in the sender's domain. fromDom/toDom/toSched
@@ -610,6 +649,8 @@ func (n *Network) Connect(a, b Port, cfg LinkConfig) *Link {
 	}
 	l.dirs[0].arrQ = n.arrivalQueueFor(l.dirs[0].toSched)
 	l.dirs[1].arrQ = n.arrivalQueueFor(l.dirs[1].toSched)
+	l.dirs[0].doneFn = l.dirs[0].txDone
+	l.dirs[1].doneFn = l.dirs[1].txDone
 	if l.cfg.LossProb > 0 {
 		// Per-direction loss streams, fixed at construction (which is
 		// single-threaded): two seed draws per link when the caller shares
@@ -790,22 +831,11 @@ func (l *Link) send(from int, raw []byte, tc trace.Context) {
 func (d *direction) transmit(raw []byte, tc trace.Context) {
 	l := d.link
 	d.busy = true
+	d.curLen = len(raw)
 	ser := l.serializationTime(len(raw))
 	sched := d.sched
 	// Transmitter frees after serialization; frame lands after propagation.
-	sched.At(sched.Now()+ser, func() {
-		d.txFrames.Inc()
-		d.txBytes.Add(uint64(len(raw)))
-		if len(d.queue) > 0 {
-			next := d.queue[0]
-			d.queue[0] = queuedFrame{}
-			d.queue = d.queue[1:]
-			d.queued -= len(next.raw)
-			d.transmit(next.raw, next.tc)
-		} else {
-			d.busy = false
-		}
-	})
+	sched.At(sched.Now()+ser, d.doneFn)
 	if l.cfg.LossProb > 0 && d.lossRNG != nil && d.lossRNG.Bool(l.cfg.LossProb) {
 		d.lossFrames.Inc()
 		l.net.emit(sched.Now(), telemetry.CatNet, "loss", d.name, int64(len(raw)))
@@ -849,6 +879,22 @@ func (d *direction) transmit(raw []byte, tc trace.Context) {
 	}
 }
 
+// txDone frees the transmitter after serialization and starts the next
+// queued frame, if any.
+func (d *direction) txDone() {
+	d.txFrames.Inc()
+	d.txBytes.Add(uint64(d.curLen))
+	if len(d.queue) > 0 {
+		next := d.queue[0]
+		d.queue[0] = queuedFrame{}
+		d.queue = d.queue[1:]
+		d.queued -= len(next.raw)
+		d.transmit(next.raw, next.tc)
+	} else {
+		d.busy = false
+	}
+}
+
 // scheduleArrival lands the frame at the receiving port at instant at. The
 // delivery event executes in the RECEIVER's domain: for a same-domain link
 // that is a plain scheduler insert; for a cross-domain link it rides the
@@ -865,13 +911,43 @@ func (d *direction) transmit(raw []byte, tc trace.Context) {
 // between the two execution modes.
 func (d *direction) scheduleArrival(at sim.Time, raw []byte, tc trace.Context) {
 	d.arrSeq++
-	seq := d.arrSeq
-	q := d.arrQ
-	fn := func() { q.add(arrival{dir: d, seq: seq, raw: raw, tc: tc}) }
+	e := arrivalEventPool.Get().(*arrivalEvent)
+	e.q = d.arrQ
+	e.a = arrival{dir: d, seq: d.arrSeq, raw: raw, tc: tc}
 	if d.fromDom != nil && d.fromDom != d.toDom {
-		d.fromDom.Post(d.toDom, at, fn)
+		d.fromDom.Post(d.toDom, at, e.fn)
 	} else {
-		d.toSched.At(at, fn)
+		d.toSched.At(at, e.fn)
+	}
+}
+
+// arrivalEvent carries one pending delivery from the sender's schedule
+// point to the receiver's arrival queue. Events are pooled with their
+// handler closure bound once at pool construction, so the steady-state
+// hop path schedules deliveries without allocating. The pool is shared
+// across domains (sync.Pool is concurrency-safe), and reuse order cannot
+// affect results: firing only moves the payload into the receiver's
+// arrival queue, which imposes its own structural order.
+type arrivalEvent struct {
+	q  *arrivalQueue
+	a  arrival
+	fn sim.Handler // bound once to fire
+}
+
+func (e *arrivalEvent) fire() {
+	q, a := e.q, e.a
+	e.q, e.a = nil, arrival{}
+	arrivalEventPool.Put(e)
+	q.add(a)
+}
+
+var arrivalEventPool sync.Pool
+
+func init() {
+	arrivalEventPool.New = func() any {
+		e := &arrivalEvent{}
+		e.fn = e.fire
+		return e
 	}
 }
 

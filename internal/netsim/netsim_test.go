@@ -333,3 +333,33 @@ func TestLinkConservationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHopPathAllocFree pins the steady-state hop path — NIC tx, link
+// serialization/propagation, switch forwarding, second link, NIC rx — at
+// zero allocations per delivered frame. The transmit-done handler is
+// pre-bound per direction and delivery events are pooled; a regression
+// here silently multiplies GC pressure by the fleet's packet rate.
+func TestHopPathAllocFree(t *testing.T) {
+	s, _, nics := buildStar(t)
+	delivered := 0
+	for _, nic := range nics {
+		nic.SetHandler(func([]byte) { delivered++ })
+	}
+	ab := frame(nics[0].MAC(), nics[1].MAC(), 100)
+	ba := frame(nics[1].MAC(), nics[0].MAC(), 0)
+	// Teach the switch both MACs so the measured loop forwards, and warm
+	// the event/arrival pools.
+	nics[0].Send(ab)
+	nics[1].Send(ba)
+	s.Drain()
+	allocs := testing.AllocsPerRun(200, func() {
+		nics[0].Send(ab)
+		s.Drain()
+	})
+	if allocs != 0 {
+		t.Fatalf("hop path allocates %.1f times per frame, want 0", allocs)
+	}
+	if delivered == 0 {
+		t.Fatal("no frames delivered")
+	}
+}

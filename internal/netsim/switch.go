@@ -78,6 +78,21 @@ func (s *Switch) Stats() (forwarded, flooded uint64) {
 // Forget clears the MAC learning table (e.g. after heavy churn).
 func (s *Switch) Forget() { s.table = make(map[packet.MAC]*switchPort) }
 
+// Learn pre-seeds the MAC table, binding mac to p exactly as if a frame
+// from mac had already arrived on that port. Fleet-scale topologies prime
+// their switches (alongside static ARP, see testbed.Config.PrimeARP) so
+// first-contact unicast forwards instead of flooding the whole segment.
+// Later dynamic learning overwrites the entry as usual. Returns false
+// when p is not a port of this switch.
+func (s *Switch) Learn(mac packet.MAC, p Port) bool {
+	sp, ok := p.(*switchPort)
+	if !ok || sp.sw != s {
+		return false
+	}
+	s.table[mac] = sp
+	return true
+}
+
 // SetGroup assigns a port to a partition group. Ports only exchange frames
 // within their group; frames crossing a group boundary are silently
 // discarded (and counted), modeling a switch-level network partition. All

@@ -10,6 +10,7 @@ package netstack
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"ddoshield/internal/netsim"
@@ -49,12 +50,19 @@ type arpEntry struct {
 }
 
 // Host is one endpoint's network stack bound to a NIC.
+//
+// The stack is lazy: the ARP/UDP/listener/connection tables, the RNG and
+// the cached name string are all nil until first use, so an idle device —
+// one that never sends or binds a socket — costs only the struct itself.
+// Reads tolerate nil maps (a nil map lookup is legal Go); every write goes
+// through an ensure-accessor that takes storage from a shared pool, and
+// ReleaseIdle returns empty tables to the pools on churn-down.
 type Host struct {
 	nic   *netsim.NIC
 	sched *sim.Scheduler
 	cfg   HostConfig
-	rng   *sim.RNG
-	name  string // cached Addr string so trace emits stay alloc-free
+	rng   *sim.RNG // lazy: see rand()
+	name  string   // lazy cached Addr string: see Name()
 
 	arp       map[packet.Addr]*arpEntry
 	udpSocks  map[uint16]*UDPSocket
@@ -76,6 +84,8 @@ type Host struct {
 }
 
 // NewHost binds a stack to nic. The NIC's receive handler is taken over.
+// Tables, RNG and name are materialized on first use, not here — at fleet
+// scale most hosts never touch them.
 func NewHost(nic *netsim.NIC, cfg HostConfig) *Host {
 	if cfg.TTL == 0 {
 		cfg.TTL = 64
@@ -84,16 +94,108 @@ func NewHost(nic *netsim.NIC, cfg HostConfig) *Host {
 		nic:       nic,
 		sched:     nic.Node().Scheduler(),
 		cfg:       cfg,
-		name:      cfg.Addr.String(),
-		rng:       sim.Substream(cfg.Seed, "netstack/"+cfg.Addr.String()),
-		arp:       make(map[packet.Addr]*arpEntry),
-		udpSocks:  make(map[uint16]*UDPSocket),
-		listeners: make(map[uint16]*Listener),
-		conns:     make(map[connKey]*Conn),
 		ephemeral: 32768,
 	}
 	nic.SetHandlerCtx(h.receive)
 	return h
+}
+
+// Table storage pools shared across the fleet: hosts borrow map storage on
+// first write and return it (empty) on ReleaseIdle, so a churn-heavy
+// campaign recycles a working set of tables instead of holding one of each
+// per device.
+var (
+	arpMapPool      = sync.Pool{New: func() any { return make(map[packet.Addr]*arpEntry) }}
+	udpMapPool      = sync.Pool{New: func() any { return make(map[uint16]*UDPSocket) }}
+	listenerMapPool = sync.Pool{New: func() any { return make(map[uint16]*Listener) }}
+	connMapPool     = sync.Pool{New: func() any { return make(map[connKey]*Conn) }}
+)
+
+// arpMap (and its siblings below) materialize the corresponding table
+// before a write; reads go straight to the possibly-nil field.
+func (h *Host) arpMap() map[packet.Addr]*arpEntry {
+	if h.arp == nil {
+		h.arp = arpMapPool.Get().(map[packet.Addr]*arpEntry)
+	}
+	return h.arp
+}
+
+func (h *Host) udpMap() map[uint16]*UDPSocket {
+	if h.udpSocks == nil {
+		h.udpSocks = udpMapPool.Get().(map[uint16]*UDPSocket)
+	}
+	return h.udpSocks
+}
+
+func (h *Host) listenerMap() map[uint16]*Listener {
+	if h.listeners == nil {
+		h.listeners = listenerMapPool.Get().(map[uint16]*Listener)
+	}
+	return h.listeners
+}
+
+func (h *Host) connMap() map[connKey]*Conn {
+	if h.conns == nil {
+		h.conns = connMapPool.Get().(map[connKey]*Conn)
+	}
+	return h.conns
+}
+
+// rand returns the host's RNG, deriving it on first use. The stream is
+// keyed by (seed, address) only, so the draw sequence is identical whether
+// the RNG is built eagerly at NewHost or lazily at the first ISN.
+func (h *Host) rand() *sim.RNG {
+	if h.rng == nil {
+		h.rng = sim.Substream(h.cfg.Seed, "netstack/"+h.Name())
+	}
+	return h.rng
+}
+
+// ReleaseIdle returns table storage that holds no live state to the shared
+// pools. Called on container halt/churn-down; behavior-preserving because
+// only *empty* tables are released — a populated ARP cache persists across
+// restarts exactly as it always did.
+func (h *Host) ReleaseIdle() {
+	if h.arp != nil && len(h.arp) == 0 {
+		arpMapPool.Put(h.arp)
+		h.arp = nil
+	}
+	if h.udpSocks != nil && len(h.udpSocks) == 0 {
+		udpMapPool.Put(h.udpSocks)
+		h.udpSocks = nil
+	}
+	if h.listeners != nil && len(h.listeners) == 0 {
+		listenerMapPool.Put(h.listeners)
+		h.listeners = nil
+	}
+	if h.conns != nil && len(h.conns) == 0 {
+		connMapPool.Put(h.conns)
+		h.conns = nil
+	}
+}
+
+// AddStaticARP installs a permanent neighbor entry, bypassing resolution.
+// Large fleets use it to pre-bind the pairs that will talk (device to its
+// edge server, scanner to its target plane): one ARP broadcast on a
+// 100k-host segment costs 100k deliveries, so at scale resolution traffic
+// — not payload traffic — dominates the event count unless primed away.
+func (h *Host) AddStaticARP(ip packet.Addr, mac packet.MAC) {
+	e := h.arp[ip]
+	if e == nil {
+		e = &arpEntry{}
+		h.arpMap()[ip] = e
+	}
+	e.mac = mac
+	if e.waiting {
+		e.waiting = false
+		pending := e.pending
+		e.pending = nil
+		for _, p := range pending {
+			h.txIPv4++
+			h.nic.SendCtx(p.build(mac), p.tc)
+			p.tc.Finish(h.sched.Now())
+		}
+	}
 }
 
 // emitTCP records a transport-layer trace event in the network's flight
@@ -101,15 +203,21 @@ func NewHost(nic *netsim.NIC, cfg HostConfig) *Host {
 // up per call so instrumentation attached after NewHost still takes
 // effect; the chain is a few pointer loads and allocation-free.
 func (h *Host) emitTCP(name string, value int64) {
-	h.nic.Node().Network().Recorder().Emit(h.sched.Now(), telemetry.CatTCP, name, h.name, value)
+	h.nic.Node().Network().Recorder().Emit(h.sched.Now(), telemetry.CatTCP, name, h.Name(), value)
 }
 
 // Addr reports the host's IPv4 address.
 func (h *Host) Addr() packet.Addr { return h.cfg.Addr }
 
-// Name reports the host's cached address string — the actor label its
-// spans and trace events carry.
-func (h *Host) Name() string { return h.name }
+// Name reports the host's address string — the actor label its spans and
+// trace events carry. Rendered once on first use and cached so the hot
+// paths stay alloc-free.
+func (h *Host) Name() string {
+	if h.name == "" {
+		h.name = h.cfg.Addr.String()
+	}
+	return h.name
+}
 
 // Tracer resolves the network's packet tracer at call time (nil when
 // tracing is off; the trace API is nil-receiver safe).
@@ -126,7 +234,7 @@ func (h *Host) traceOrigin(name string, dst packet.Addr, srcPort, dstPort uint16
 		Src: h.cfg.Addr.Uint32(), Dst: dst.Uint32(),
 		SrcPort: srcPort, DstPort: dstPort, Proto: proto,
 	}
-	return tr.Origin(h.sched.Now(), f, name, h.name)
+	return tr.Origin(h.sched.Now(), f, name, h.Name())
 }
 
 // MAC reports the bound NIC's hardware address.
@@ -212,7 +320,7 @@ func (h *Host) sendIPVia(hop packet.Addr, tc trace.Context, build func(dstMAC pa
 	}
 	if e == nil {
 		e = &arpEntry{}
-		h.arp[hop] = e
+		h.arpMap()[hop] = e
 	}
 	e.pending = append(e.pending, pendingFrame{build: build, tc: tc})
 	if !e.waiting {
@@ -294,7 +402,7 @@ func (h *Host) SendRawCtx(frame []byte, tc trace.Context) {
 // terminally at a socket, or as a cause-tagged drop.
 func (h *Host) receive(raw []byte, tc trace.Context) {
 	now := h.sched.Now()
-	span := tc.Start(now, "deliver", h.name)
+	span := tc.Start(now, "deliver", h.Name())
 	eth, rest, err := packet.UnmarshalEthernet(raw)
 	if err != nil {
 		span.Drop(now, trace.DropMalformed)
@@ -322,24 +430,33 @@ func (h *Host) handleARP(b []byte) {
 	if err != nil {
 		return
 	}
-	// Opportunistically learn the sender's mapping.
+	// Learn the sender's mapping the way a real stack does: refresh an
+	// entry we already hold, or create one when the packet actually
+	// concerns us (a reply we solicited, or a request probing our own
+	// address — we are about to answer, so the requester will talk to us).
+	// Broadcast requests aimed at third parties update nothing; without
+	// this restriction every flooded ARP request would materialize a cache
+	// entry on all N hosts of the segment, defeating the idle flyweight at
+	// fleet scale.
 	if !a.SenderIP.IsZero() {
 		e := h.arp[a.SenderIP]
-		if e == nil {
+		if e == nil && (a.Op == packet.ARPReply || a.TargetIP == h.cfg.Addr) {
 			e = &arpEntry{}
-			h.arp[a.SenderIP] = e
+			h.arpMap()[a.SenderIP] = e
 		}
-		e.mac = a.SenderMAC
-		if e.waiting {
-			e.waiting = false
-			pending := e.pending
-			e.pending = nil
-			for _, p := range pending {
-				if f := p.build(e.mac); f != nil {
-					h.txIPv4++
-					h.nic.SendCtx(f, p.tc)
+		if e != nil {
+			e.mac = a.SenderMAC
+			if e.waiting {
+				e.waiting = false
+				pending := e.pending
+				e.pending = nil
+				for _, p := range pending {
+					if f := p.build(e.mac); f != nil {
+						h.txIPv4++
+						h.nic.SendCtx(f, p.tc)
+					}
+					p.tc.Finish(h.sched.Now())
 				}
-				p.tc.Finish(h.sched.Now())
 			}
 		}
 	}

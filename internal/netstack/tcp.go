@@ -154,7 +154,7 @@ type Listener struct {
 	port    uint16
 	accept  func(*Conn)
 	backlog int
-	halfDM  map[connKey]*Conn // half-open (SYN_RCVD) connections
+	halfDM  map[connKey]*Conn // half-open (SYN_RCVD) connections; nil until first SYN
 	closed  bool
 
 	accepted    uint64
@@ -172,8 +172,10 @@ func (h *Host) ListenTCP(port uint16, backlog int, accept func(*Conn)) (*Listene
 	if backlog <= 0 {
 		backlog = DefaultBacklog
 	}
-	l := &Listener{host: h, port: port, accept: accept, backlog: backlog, halfDM: make(map[connKey]*Conn)}
-	h.listeners[port] = l
+	// halfDM stays nil until the first inbound SYN: an idle service (every
+	// device binds telnet) then costs no backlog storage.
+	l := &Listener{host: h, port: port, accept: accept, backlog: backlog}
+	h.listenerMap()[port] = l
 	return l, nil
 }
 
@@ -212,12 +214,12 @@ func (h *Host) DialTCP(dst packet.Addr, dstPort uint16) *Conn {
 		host:  h,
 		key:   key,
 		state: StateSynSent,
-		iss:   h.rng.Uint32(),
+		iss:   h.rand().Uint32(),
 		rto:   baseRTO,
 	}
 	c.sndUna = c.iss
 	c.sndNxt = c.iss + 1 // SYN consumes one sequence number
-	h.conns[key] = c
+	h.connMap()[key] = c
 	c.sendSegment(c.iss, 0, packet.FlagSYN, nil)
 	c.armRetransmit()
 	return c
@@ -496,7 +498,7 @@ func (l *Listener) handleSYN(key connKey, tcp packet.TCP, tc trace.Context) {
 		host:       h,
 		key:        key,
 		state:      StateSynRcvd,
-		iss:        h.rng.Uint32(),
+		iss:        h.rand().Uint32(),
 		rto:        baseRTO,
 		rcvNxt:     tcp.Seq + 1,
 		gotSYN:     true,
@@ -504,7 +506,10 @@ func (l *Listener) handleSYN(key connKey, tcp packet.TCP, tc trace.Context) {
 	}
 	c.sndUna = c.iss
 	c.sndNxt = c.iss + 1
-	h.conns[key] = c
+	h.connMap()[key] = c
+	if l.halfDM == nil {
+		l.halfDM = make(map[connKey]*Conn)
+	}
 	l.halfDM[key] = c
 	c.sendSegment(c.iss, c.rcvNxt, packet.FlagSYN|packet.FlagACK, nil)
 	c.armRetransmit()

@@ -31,7 +31,7 @@ func (h *Host) ListenUDP(port uint16, handler UDPHandler) (*UDPSocket, error) {
 		return nil, fmt.Errorf("udp port %d already bound on %s", port, h.cfg.Addr)
 	}
 	s := &UDPSocket{host: h, port: port, handler: handler}
-	h.udpSocks[port] = s
+	h.udpMap()[port] = s
 	return s, nil
 }
 

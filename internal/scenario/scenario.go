@@ -82,7 +82,7 @@ func (d *Definition) Validate() error {
 	if d.DurationSec <= 0 {
 		return fmt.Errorf("scenario %q: durationSec must be positive", d.Name)
 	}
-	if d.Devices < 0 || d.Devices > 200 {
+	if d.Devices < 0 || d.Devices > testbed.MaxDevices {
 		return fmt.Errorf("scenario %q: devices out of range", d.Name)
 	}
 	for i, a := range d.Attacks {

@@ -65,7 +65,7 @@ func TestLoadRejectsInvalid(t *testing.T) {
 		"bad type":         `{"durationSec": 10, "attacks":[{"atSec":1,"type":"dns","durationSec":1,"pps":1}]}`,
 		"attack too late":  `{"durationSec": 10, "attacks":[{"atSec":20,"type":"syn","durationSec":1,"pps":1}]}`,
 		"zero pps":         `{"durationSec": 10, "attacks":[{"atSec":1,"type":"syn","durationSec":1,"pps":0}]}`,
-		"too many devices": `{"durationSec": 10, "devices": 5000}`,
+		"too many devices": `{"durationSec": 10, "devices": 300000}`,
 		"not json":         `nope`,
 	}
 	for name, body := range cases {

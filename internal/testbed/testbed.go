@@ -29,12 +29,15 @@ import (
 	"ddoshield/internal/telemetry/trace"
 )
 
-// Well-known testbed addresses inside the default 10.0.0.0/16 subnet,
+// Well-known testbed addresses inside the default 10.0.0.0/12 subnet,
 // built from octet literals rather than parsed strings so no runtime path
 // can hit a parse panic.
 var (
-	// DefaultSubnet is the simulated LAN (10.0.0.0/16).
-	DefaultSubnet = packet.Prefix{Addr: packet.AddrFrom4(10, 0, 0, 0), Bits: 16}
+	// DefaultSubnet is the simulated LAN (10.0.0.0/12). The /12 leaves room
+	// for the extension device plane (10.4.0.0+) that fleets beyond the
+	// classic 10.0.2.x plane spill into; every legacy address stays inside
+	// it, so routing behaviour for small topologies is unchanged.
+	DefaultSubnet = packet.Prefix{Addr: packet.AddrFrom4(10, 0, 0, 0), Bits: 12}
 	// DefaultSpoofRange supplies forged flood sources (10.0.200.0/22); it
 	// is inside the subnet but never assigned to a real host, so it
 	// doubles as an exact ground-truth marker.
@@ -46,9 +49,46 @@ var (
 	addrAttacker = packet.AddrFrom4(10, 0, 0, 3)
 )
 
-// deviceAddr returns the i-th device address (10.0.2.x plane).
+// MaxDevices bounds the fleet size a Config may request: the classic
+// 10.0.2.x plane plus the 10.4.0.0+ extension plane comfortably hold it,
+// and it is the scale the 100k-device campaigns target with headroom.
+const MaxDevices = 200_000
+
+// classicPlaneDevices is how many devices fit the original 10.0.2.x plane
+// (10.0.2.10 .. 10.0.2.255). Only this plane lies inside the attacker's
+// 10.0.2.0/24 scan range, so only these devices can ever be conscripted —
+// exactly the pre-extension behaviour.
+const classicPlaneDevices = 246
+
+// deviceAddr returns the i-th device address: the classic 10.0.2.x plane
+// for the first 246 devices (byte-for-byte the historical mapping), then
+// the 10.4.0.0+ extension plane for fleet-scale topologies.
 func deviceAddr(i int) packet.Addr {
-	return packet.AddrFrom4(10, 0, 2, byte(10+i))
+	if i < classicPlaneDevices {
+		return packet.AddrFrom4(10, 0, 2, byte(10+i))
+	}
+	n := i - classicPlaneDevices
+	return packet.AddrFrom4(10, byte(4+n>>16), byte(n>>8), byte(n))
+}
+
+// deviceScannable reports whether device i is reachable by the attacker's
+// scanner (inside its 10.0.2.0/24 target range) and therefore a potential
+// bot. The partitioner weighs scannable vulnerable devices as future
+// flood sources.
+func deviceScannable(i int) bool { return i < classicPlaneDevices }
+
+// maxMetricEntities bounds how many netsim entities (NICs, links,
+// switches) publish per-entity metric series. Infrastructure and the
+// first ~4000 devices register; beyond that only aggregate metrics grow
+// with fleet size. Small topologies never reach the cap.
+const maxMetricEntities = 8192
+
+// templateKey identifies one shared device template: the slot in the
+// Profiles cycle plus the benign target its instances aim at (per-group
+// with EdgeServers, the central TServer otherwise).
+type templateKey struct {
+	profile int
+	target  packet.Addr
 }
 
 // edgeServerAddr returns the g-th group's edge-server address (10.0.3.x).
@@ -74,7 +114,7 @@ type ChurnConfig struct {
 type Config struct {
 	// Seed drives every stochastic component.
 	Seed int64
-	// NumDevices is the Dev fleet size (default 10, max 200).
+	// NumDevices is the Dev fleet size (default 10, max MaxDevices).
 	NumDevices int
 	// Profiles cycles device classes (default devices.DefaultFleet).
 	Profiles []devices.Profile
@@ -114,9 +154,11 @@ type Config struct {
 	TraceSpanCapacity int
 	// DeviceGroups splits the Dev fleet across this many access switches
 	// (edge00..edgeNN), each trunked to the core lan0 switch over
-	// TrunkLink. 0 or 1 keeps the flat single-switch topology. Topology
-	// is a function of DeviceGroups alone — the execution mode (Domains)
-	// never changes what is simulated, only how it executes.
+	// TrunkLink. 0 or 1 keeps the flat single-switch topology. Devices are
+	// packed into groups by the deterministic load-aware partitioner (see
+	// partition.go); topology is a function of the config alone — the
+	// execution mode (Domains) never changes what is simulated, only how
+	// it executes.
 	DeviceGroups int
 	// TrunkLink configures the edge-to-core trunk links (defaults: the
 	// netsim link defaults, i.e. 100 Mb/s and 1 ms). With Domains > 1 the
@@ -132,7 +174,9 @@ type Config struct {
 	EdgeServers bool
 	// Domains partitions execution into this many conservative-PDES
 	// domains: domain 0 owns the core (lan0, TServer, IDS, C2, attacker)
-	// and device group g lives in domain 1 + g mod (Domains-1). Values
+	// and the load-aware partitioner packs device groups (or, in the flat
+	// topology, devices) onto domains 1..Domains-1 by expected event rate
+	// so no single hot domain serializes the epoch barrier. Values
 	// <= 1 run the classic single-scheduler path. Results are
 	// byte-identical either way; Domains > 1 only buys parallelism.
 	// Churn, fault plans and random link loss all run partitioned: every
@@ -143,14 +187,23 @@ type Config struct {
 	// PDESWorkers bounds how many domains execute concurrently
 	// (0 = Domains). Ignored when Domains <= 1.
 	PDESWorkers int
+	// PrimeARP installs static ARP entries for every pair that will
+	// exchange traffic (device and its benign target, attacker/C2/TServer
+	// and the scannable plane) instead of resolving on first use, and
+	// pre-seeds the switch MAC tables along the same paths. On a shared
+	// L2 segment every ARP request — and every unknown-unicast frame —
+	// floods all hosts, so at fleet scale resolution and first-contact
+	// traffic grows as active-senders x total-hosts and dwarfs the
+	// payload traffic being measured; priming removes it the same way
+	// large ns-3 topologies pre-populate their ARP caches. Static entries
+	// survive churn restarts (the host's ARP cache always has). Off by
+	// default: small paper-faithful topologies resolve dynamically.
+	PrimeARP bool
 }
 
 func (c Config) withDefaults() Config {
 	if c.NumDevices <= 0 {
 		c.NumDevices = 10
-	}
-	if c.NumDevices > 200 {
-		c.NumDevices = 200
 	}
 	if len(c.Profiles) == 0 {
 		c.Profiles = devices.DefaultFleet
@@ -170,7 +223,7 @@ func (c Config) withDefaults() Config {
 	if c.ReinfectCooldown <= 0 {
 		c.ReinfectCooldown = 45 * time.Second
 	}
-	if c.DeviceGroups < 1 {
+	if c.DeviceGroups == 0 {
 		c.DeviceGroups = 1
 	}
 	if c.Domains < 1 {
@@ -183,19 +236,19 @@ func (c Config) withDefaults() Config {
 // gates features: churn, fault plans and lossy links all run under the
 // PDES engine with per-entity RNG streams and domain-local fault routing.
 func (c Config) validate() error {
+	if c.NumDevices > MaxDevices {
+		return fmt.Errorf("testbed: NumDevices %d exceeds MaxDevices %d", c.NumDevices, MaxDevices)
+	}
+	if c.DeviceGroups < 0 {
+		return fmt.Errorf("testbed: DeviceGroups must be >= 0 (got %d)", c.DeviceGroups)
+	}
 	if c.EdgeServers && c.DeviceGroups < 2 {
 		return fmt.Errorf("testbed: EdgeServers requires DeviceGroups >= 2 (got %d)", c.DeviceGroups)
 	}
-	return nil
-}
-
-// domainOf maps a device group to its PDES domain: the core is domain 0,
-// groups round-robin over domains 1..Domains-1.
-func (c Config) domainOf(group int) int {
-	if c.Domains <= 1 {
-		return 0
+	if c.EdgeServers && c.DeviceGroups > 254 {
+		return fmt.Errorf("testbed: EdgeServers supports at most 254 groups (got %d)", c.DeviceGroups)
 	}
-	return 1 + group%(c.Domains-1)
+	return nil
 }
 
 // DeviceHandle pairs a device with its container.
@@ -261,6 +314,13 @@ type churnState struct {
 // churnStreamKey salts the per-device (seed, device index) churn streams.
 const churnStreamKey = 0x6465762d636875 // "dev-chu"
 
+// bindARP statically resolves both directions of a host pair (see
+// Config.PrimeARP).
+func bindARP(a, b *netstack.Host) {
+	a.AddStaticARP(b.Addr(), b.MAC())
+	b.AddStaticARP(a.Addr(), a.MAC())
+}
+
 // New assembles the full topology. Nothing runs until Start.
 func New(cfg Config) (*Testbed, error) {
 	cfg = cfg.withDefaults()
@@ -271,6 +331,10 @@ func New(cfg Config) (*Testbed, error) {
 		cfg:   cfg,
 		churn: make(map[*container.Container]*churnState),
 	}
+	// Deterministic load-aware placement: device -> group, group -> domain
+	// (see partition.go). Computed up front because edge switches must be
+	// created in their groups' domains before any device exists.
+	pl := cfg.layout()
 	if cfg.Domains > 1 {
 		tb.engine = sim.NewEngine(cfg.Domains, 0)
 		tb.sched = tb.engine.Domain(0).Scheduler()
@@ -279,6 +343,12 @@ func New(cfg Config) (*Testbed, error) {
 		tb.sched = sim.NewScheduler()
 		tb.network = netsim.New(tb.sched)
 	}
+	// Cap per-entity metric cardinality: the first maxMetricEntities NICs,
+	// links and switches (infrastructure first — devices are created last)
+	// publish series; a 100k-device fleet would otherwise put millions of
+	// entries in every Prometheus snapshot. Small topologies never reach
+	// the cap, so their snapshots are unchanged.
+	tb.network.SetMetricEntityLimit(maxMetricEntities)
 	// Root the network's derived per-link RNG streams (random loss on
 	// access or trunk links configured without an explicit RNG).
 	tb.network.SetSeed(cfg.Seed)
@@ -394,11 +464,20 @@ func New(cfg Config) (*Testbed, error) {
 	// Access layer: with DeviceGroups > 1 every group gets an edge switch
 	// trunked to the core lan0, placed in the group's PDES domain (domain
 	// 0 when serial), and optionally a group-local HTTP edge server.
+	var trunkCorePorts []netsim.Port
 	if cfg.DeviceGroups > 1 {
 		for g := 0; g < cfg.DeviceGroups; g++ {
-			esw := tb.network.NewSwitchInDomain(fmt.Sprintf("edge%02d", g), cfg.domainOf(g))
-			tb.network.Connect(tb.sw.NewPort(), esw.NewPort(), cfg.TrunkLink)
+			esw := tb.network.NewSwitchInDomain(fmt.Sprintf("edge%02d", g), pl.domainOfGroup(g))
+			corePort, edgePort := tb.sw.NewPort(), esw.NewPort()
+			tb.network.Connect(corePort, edgePort, cfg.TrunkLink)
+			trunkCorePorts = append(trunkCorePorts, corePort)
 			tb.edgeSws = append(tb.edgeSws, esw)
+			if cfg.PrimeARP {
+				// Core-side hosts reached from this group go via the trunk.
+				esw.Learn(tb.tserver.Host().MAC(), edgePort)
+				esw.Learn(tb.attackerC.Host().MAC(), edgePort)
+				esw.Learn(tb.c2C.Host().MAC(), edgePort)
+			}
 			if cfg.EdgeServers {
 				srv := httpapp.NewServer(httpapp.ServerConfig{Seed: cfg.Seed + 2000 + int64(g)})
 				srvApp := container.AppFuncs{
@@ -407,45 +486,55 @@ func New(cfg Config) (*Testbed, error) {
 				}
 				srvC, err := tb.runtime.Create(container.Spec{
 					Name: fmt.Sprintf("edge%02d-srv", g), Image: "edge:http",
-					Host: hostCfg(edgeServerAddr(g)), App: srvApp, Domain: cfg.domainOf(g),
+					Host: hostCfg(edgeServerAddr(g)), App: srvApp, Domain: pl.domainOfGroup(g),
 				}, esw, cfg.Link)
 				if err != nil {
 					return nil, fmt.Errorf("testbed: %w", err)
 				}
 				tb.edgeSrvs = append(tb.edgeSrvs, srv)
 				tb.edgeCs = append(tb.edgeCs, srvC)
+				if cfg.PrimeARP {
+					esw.Learn(srvC.Host().MAC(), srvC.SwitchPort())
+				}
 			}
+		}
+	}
+	if cfg.PrimeARP {
+		for _, c := range []*container.Container{tb.tserver, tb.idsC, tb.c2C, tb.attackerC} {
+			tb.sw.Learn(c.Host().MAC(), c.SwitchPort())
 		}
 	}
 
 	// Device fleet: group g's devices hang off its edge switch and target
 	// its edge server when configured; the flat topology keeps everything
-	// on lan0 aimed at the central TServer.
+	// on lan0 aimed at the central TServer. Class state is shared: one
+	// flyweight template per (profile, target) pair serves every instance.
+	templates := make(map[templateKey]*devices.Template)
 	for i := 0; i < cfg.NumDevices; i++ {
 		profile := cfg.Profiles[i%len(cfg.Profiles)]
 		name := fmt.Sprintf("dev%02d-%s", i, profile.Kind)
-		accessSw, group, dom := tb.sw, 0, 0
+		accessSw, group := tb.sw, 0
+		dom := pl.deviceDomain[i]
 		if cfg.DeviceGroups > 1 {
-			group = i % cfg.DeviceGroups
+			group = pl.deviceGroup[i]
 			accessSw = tb.edgeSws[group]
-			dom = cfg.domainOf(group)
-		} else if cfg.Domains > 1 {
-			// Flat topology, partitioned execution: spread devices
-			// round-robin over the non-core domains.
-			dom = cfg.domainOf(i)
 		}
 		target := addrTServer
 		if cfg.EdgeServers {
 			target = edgeServerAddr(group)
 		}
-		dev := devices.New(devices.Config{
-			Name:       name,
-			Profile:    profile,
-			TServer:    target,
-			SpoofRange: DefaultSpoofRange,
-			Seed:       cfg.Seed + 1000 + int64(i)*13,
-			MeanThink:  cfg.MeanThink,
-		})
+		tk := templateKey{profile: i % len(cfg.Profiles), target: target}
+		tmpl := templates[tk]
+		if tmpl == nil {
+			tmpl = devices.NewTemplate(devices.TemplateConfig{
+				Profile:    profile,
+				TServer:    target,
+				SpoofRange: DefaultSpoofRange,
+				MeanThink:  cfg.MeanThink,
+			})
+			templates[tk] = tmpl
+		}
+		dev := tmpl.Instantiate(name, cfg.Seed+1000+int64(i)*13)
 		devC, err := tb.runtime.Create(container.Spec{
 			Name: name, Image: "iot:" + profile.Kind,
 			Host: hostCfg(deviceAddr(i)), App: dev, Domain: dom,
@@ -454,9 +543,36 @@ func New(cfg Config) (*Testbed, error) {
 			return nil, fmt.Errorf("testbed: %w", err)
 		}
 		tb.devs = append(tb.devs, DeviceHandle{Container: devC, Device: dev})
+		if cfg.PrimeARP {
+			devH := devC.Host()
+			accessSw.Learn(devH.MAC(), devC.SwitchPort())
+			srvH := tb.tserver.Host()
+			if cfg.EdgeServers {
+				srvH = tb.edgeCs[group].Host()
+			}
+			bindARP(devH, srvH)
+			if deviceScannable(i) {
+				if cfg.DeviceGroups > 1 {
+					// The loader/C2/TServer reach this device over the trunk.
+					tb.sw.Learn(devH.MAC(), trunkCorePorts[group])
+				}
+				// Only the classic plane is inside the attacker's scan
+				// range; those devices also talk to the loader, the C2
+				// (as bots) and the TServer (as flooders).
+				bindARP(devH, tb.attackerC.Host())
+				bindARP(devH, tb.c2C.Host())
+				if cfg.EdgeServers {
+					bindARP(devH, tb.tserver.Host())
+				}
+			}
+		}
 		// Per-device churn stream, fixed now so the map is read-only once
 		// the simulation runs (entries mutate only in the owning domain).
-		tb.churn[devC] = &churnState{rng: sim.KeyedStream(cfg.Seed, churnStreamKey, uint64(i))}
+		// Skipped entirely when churn is off — at fleet scale the unused
+		// RNG states would dominate per-device cost.
+		if cfg.Churn.Enabled {
+			tb.churn[devC] = &churnState{rng: sim.KeyedStream(cfg.Seed, churnStreamKey, uint64(i))}
+		}
 	}
 
 	// Fault injection: register every container in creation order so glob

@@ -245,11 +245,27 @@ func TestChurnRebootsDevices(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
+	// The old 200-device clamp is gone: a 1000-device fleet builds as
+	// requested (devices beyond the classic 10.0.2.x plane land in the
+	// 10.4.0.0+ extension plane).
 	tb, err := New(Config{Seed: 9, NumDevices: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tb.Devices()) != 200 {
-		t.Fatalf("device cap not applied: %d", len(tb.Devices()))
+	if len(tb.Devices()) != 1000 {
+		t.Fatalf("fleet size not honored: %d", len(tb.Devices()))
+	}
+	// Addresses must be unique across both planes.
+	seen := map[string]int{}
+	for i, dh := range tb.Devices() {
+		a := dh.Container.Addr().String()
+		if j, dup := seen[a]; dup {
+			t.Fatalf("address collision: devices %d and %d both at %s", j, i, a)
+		}
+		seen[a] = i
+	}
+	// Beyond MaxDevices is an error, not a silent clamp.
+	if _, err := New(Config{Seed: 9, NumDevices: MaxDevices + 1}); err == nil {
+		t.Fatal("NumDevices > MaxDevices not rejected")
 	}
 }
