@@ -29,6 +29,7 @@ import (
 	"ddoshield/internal/netsim"
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry/prof"
 )
 
 // Result is one benchmark's headline numbers.
@@ -258,6 +259,19 @@ func runPDES(out, workersCSV, scaleCSV string, devices int, dur, scaleDur time.D
 	for _, pt := range rep.Scale {
 		fmt.Printf("scale devices=%-7d domains=%d %10.1f ms  %8.0f B/device  %12.0f devices/wall-s\n",
 			pt.Devices, pt.Domains, pt.WallMS, pt.HeapBytesPerDevice, pt.DevicesPerWallSecond)
+	}
+	// Bottleneck reports go to stderr so stdout stays a clean numbers
+	// stream for scripting.
+	if rep.Profile != nil {
+		fmt.Fprintf(os.Stderr, "\nbottleneck report (%d devices, domains=%d):\n%s",
+			rep.Devices, sc.Domains, prof.BuildReport(rep.Profile).String())
+	}
+	for _, pt := range rep.Scale {
+		if pt.Profile == nil {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "\nbottleneck report (scale %d devices, domains=%d):\n%s",
+			pt.Devices, pt.Domains, prof.BuildReport(pt.Profile).String())
 	}
 	fmt.Println("wrote", out)
 	return nil

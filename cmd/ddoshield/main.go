@@ -21,6 +21,7 @@ import (
 	"ddoshield/internal/pcap"
 	"ddoshield/internal/scenario"
 	"ddoshield/internal/telemetry"
+	"ddoshield/internal/telemetry/prof"
 	"ddoshield/internal/telemetry/trace"
 	"ddoshield/internal/testbed"
 )
@@ -58,8 +59,13 @@ func run() error {
 		traceSample = flag.Float64("trace-sample", 0, "causal-tracing flow sample rate in [0,1] (0 disables; 1 traces every flow)")
 		spanOut     = flag.String("span-out", "", "write finished causal-trace spans here as JSONL (analyze with tracetool)")
 		summaryOut  = flag.String("summary-out", "", "write the end-of-run testbed summary here (byte-stable for a given seed, for determinism diffing)")
+		profileOut  = flag.String("profile-out", "", "write the simulation profile (virtual-load attribution, engine stats, wall-clock phases) here as JSON and print the bottleneck report; enables the wall-clock profiler")
+		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -listen address (requires -listen)")
 	)
 	flag.Parse()
+	if *pprofFlag && *listen == "" {
+		return fmt.Errorf("-pprof requires -listen")
+	}
 
 	var (
 		tb  *testbed.Testbed
@@ -91,6 +97,7 @@ func run() error {
 			Churn:           testbed.ChurnConfig{Enabled: *churn},
 			TraceSampleRate: *traceSample,
 			Domains:         *domains,
+			Profile:         *profileOut != "",
 		})
 		if err != nil {
 			return err
@@ -121,9 +128,16 @@ func run() error {
 	// those cached bytes, so no handler touches simulation state.
 	var live *telemetry.LiveServer
 	if *listen != "" {
-		live = telemetry.NewLiveServer()
+		live = telemetry.NewLiveServerOptions(telemetry.LiveServerOptions{EnablePprof: *pprofFlag})
 		tb.Scheduler().Every(time.Second, func() {
 			live.Update(tb.Scheduler().Now(), tb.Registry(), tb.Recorder())
+		})
+		// The profile walks the whole topology, so refresh it at a coarser
+		// cadence than the per-second metrics tick.
+		tb.Scheduler().Every(5*time.Second, func() {
+			if data, err := tb.Profile(0).JSON(); err == nil {
+				live.UpdateProfile(data)
+			}
 		})
 		srv := &http.Server{Addr: *listen, Handler: live.Handler()}
 		go func() {
@@ -132,7 +146,11 @@ func run() error {
 			}
 		}()
 		defer srv.Close()
-		fmt.Printf("telemetry: serving /metrics, /metrics.json, /trace on %s\n", *listen)
+		endpoints := "/metrics, /metrics.json, /trace, /profile.json"
+		if *pprofFlag {
+			endpoints += ", /debug/pprof/"
+		}
+		fmt.Printf("telemetry: serving %s on %s\n", endpoints, *listen)
 	}
 
 	tb.Start()
@@ -166,6 +184,9 @@ func run() error {
 		return err
 	}
 	fmt.Printf("simulated %v in %v wall time\n", *duration, time.Since(startWall).Round(time.Millisecond))
+	// Everything after Run — dataset rendering, snapshot writing — is the
+	// teardown phase of the campaign profile.
+	tb.Profiler().StartPhase(prof.PhaseTeardown)
 
 	ds := dc.Dataset()
 	fmt.Println("dataset:", ds.Summarize())
@@ -235,6 +256,17 @@ func run() error {
 		}); err != nil {
 			return err
 		}
+	}
+	// The profile is written last so its teardown phase covers the other
+	// artifacts' rendering time.
+	tb.Profiler().EndPhase(prof.PhaseTeardown)
+	if *profileOut != "" {
+		if err := writeSnapshot(*profileOut, "profile", func(w *os.File) error {
+			return tb.Profile(0).WriteJSON(w)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprint(os.Stderr, tb.BottleneckReport(0).String())
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"ddoshield/internal/faults"
 	"ddoshield/internal/netsim"
 	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry/prof"
 	"ddoshield/internal/testbed"
 )
 
@@ -65,7 +66,7 @@ func httpFleet() []devices.Profile {
 	return fleet
 }
 
-func (p PDESScenario) build(domains, workers int, faulted bool) (*testbed.Testbed, error) {
+func (p PDESScenario) build(domains, workers int, faulted, profiled bool) (*testbed.Testbed, error) {
 	cfg := testbed.Config{
 		Seed:         p.Seed,
 		NumDevices:   p.Devices,
@@ -76,6 +77,7 @@ func (p PDESScenario) build(domains, workers int, faulted bool) (*testbed.Testbe
 		TrunkLink:    netsim.LinkConfig{Delay: sim.FromDuration(p.TrunkDelay)},
 		Domains:      domains,
 		PDESWorkers:  workers,
+		Profile:      profiled,
 	}
 	if faulted {
 		// The faulted variant stresses the lifted gates: device churn plus
@@ -134,12 +136,19 @@ type PDESReport struct {
 	// Scale, when populated (benchperf -pdes-scale), holds the fleet-size
 	// sweep: heap bytes per device and devices-per-wall-second per count.
 	Scale []ScalePoint `json:"scale,omitempty"`
+	// Profile is the combined observability document (virtual-load
+	// attribution, engine stats, wall-clock phases) from a profiled run of
+	// the partitioned configuration; that run's Summary was verified
+	// byte-identical to the unprofiled baseline, pinning the profiler's
+	// observe-only contract. Bottlenecks are its digest findings.
+	Profile     *prof.Profile `json:"profile,omitempty"`
+	Bottlenecks []string      `json:"bottlenecks,omitempty"`
 }
 
 // runOnce executes one configuration and returns its point plus the
 // Summary text used for the byte-identity cross-check.
 func (p PDESScenario) runOnce(domains, workers int, faulted bool) (PDESPoint, string, error) {
-	tb, err := p.build(domains, workers, faulted)
+	tb, err := p.build(domains, workers, faulted, false)
 	if err != nil {
 		return PDESPoint{}, "", err
 	}
@@ -227,6 +236,10 @@ func (p PDESScenario) RunPDESBench(workerCounts []int) (*PDESReport, error) {
 			maxWorkers = w
 		}
 	}
+	rep.Profile, rep.Bottlenecks, err = p.profileRun(p.Domains, maxWorkers, summary)
+	if err != nil {
+		return nil, err
+	}
 	fSerial, fSummary, err := p.measure(1, 1, true, "")
 	if err != nil {
 		return nil, err
@@ -240,4 +253,26 @@ func (p PDESScenario) RunPDESBench(workerCounts []int) (*PDESReport, error) {
 	fPar.Speedup = fSerial.WallMS / fPar.WallMS
 	rep.FaultedParallel = fPar
 	return rep, nil
+}
+
+// profileRun executes the partitioned configuration once with the profiler
+// attached, verifies the Summary still matches the unprofiled baseline
+// (the observe-only contract), and returns the combined profile document
+// plus its digest findings.
+func (p PDESScenario) profileRun(domains, workers int, want string) (*prof.Profile, []string, error) {
+	tb, err := p.build(domains, workers, false, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb.Start()
+	if err := tb.Run(p.Duration); err != nil {
+		return nil, nil, err
+	}
+	if s := tb.Summary(); s != want {
+		return nil, nil, fmt.Errorf(
+			"experiments: profiled run diverged from unprofiled Summary\n--- want ---\n%s--- got ---\n%s",
+			want, s)
+	}
+	profile := tb.Profile(0)
+	return profile, prof.BuildReport(profile).Findings, nil
 }

@@ -3,6 +3,8 @@ package experiments
 import (
 	"testing"
 	"time"
+
+	"ddoshield/internal/telemetry/prof"
 )
 
 // TestRunPDESBenchQuick exercises the serial-vs-parallel benchmark at CI
@@ -34,6 +36,18 @@ func TestRunPDESBenchQuick(t *testing.T) {
 		if pt.Speedup <= 0 || pt.Events == 0 || pt.Epochs == 0 {
 			t.Fatalf("parallel point not measured: %+v", pt)
 		}
+	}
+	// The profiled run's Summary matched the unprofiled baseline inside
+	// RunPDESBench; pin that the report carries the profile sections and
+	// digest findings.
+	if rep.Profile == nil || rep.Profile.Virtual == nil || rep.Profile.Engine == nil {
+		t.Fatalf("profile sections missing: %+v", rep.Profile)
+	}
+	if len(rep.Bottlenecks) == 0 {
+		t.Fatal("no bottleneck findings")
+	}
+	if prof.Enabled && (rep.Profile.Wall == nil || len(rep.Profile.Wall.PerDomain) == 0) {
+		t.Fatalf("wall plane missing from profiled run: %+v", rep.Profile.Wall)
 	}
 	// The faulted pair runs with the injector active; its own Summary
 	// cross-check (faulted serial vs faulted partitioned) already ran

@@ -10,6 +10,7 @@ import (
 	"ddoshield/internal/netsim"
 	"ddoshield/internal/sim"
 	"ddoshield/internal/telemetry"
+	"ddoshield/internal/telemetry/prof"
 	"ddoshield/internal/testbed"
 )
 
@@ -76,6 +77,13 @@ type ScalePoint struct {
 	// DevicesPerWallSecond is the headline: device-simulated-seconds
 	// delivered per wall-clock second (Devices x SimSeconds / wall).
 	DevicesPerWallSecond float64 `json:"devices_per_wall_second"`
+	// Profile is the headline run's combined observability document.
+	// Partitioned sweep members run with the profiler attached while the
+	// serial baseline runs without it, so the byte-identity cross-check
+	// doubles as the profiling-on == profiling-off regression. Bottlenecks
+	// are the digest findings naming this scale's dominant cost.
+	Profile     *prof.Profile `json:"profile,omitempty"`
+	Bottlenecks []string      `json:"bottlenecks,omitempty"`
 }
 
 // scaleGroups picks the edge-switch count for a fleet: one group per ~256
@@ -114,7 +122,7 @@ func liveHeap() uint64 {
 
 // buildScale assembles the scale topology for one count at one domain
 // setting.
-func (c ScaleConfig) buildScale(count, groups, domains int) (*testbed.Testbed, error) {
+func (c ScaleConfig) buildScale(count, groups, domains int, profiled bool) (*testbed.Testbed, error) {
 	return testbed.New(testbed.Config{
 		Seed:         c.Seed,
 		NumDevices:   count,
@@ -124,6 +132,7 @@ func (c ScaleConfig) buildScale(count, groups, domains int) (*testbed.Testbed, e
 		MeanThink:    c.MeanThink,
 		TrunkLink:    netsim.LinkConfig{Delay: sim.FromDuration(c.TrunkDelay)},
 		Domains:      domains,
+		Profile:      profiled,
 		// At fleet scale, dynamic ARP floods (one broadcast = one delivery
 		// per host) would dominate the event count; prime the caches so the
 		// sweep measures payload traffic.
@@ -131,42 +140,59 @@ func (c ScaleConfig) buildScale(count, groups, domains int) (*testbed.Testbed, e
 	})
 }
 
-// runScalePoint measures one (count, domains) pair: build+start wall
-// clock, campaign wall clock, event count, and the Summary + Prometheus
-// snapshots for the byte-identity cross-check.
-func (c ScaleConfig) runScalePoint(count, groups, domains int) (buildMS, wallMS float64, events uint64, summary, prom string, err error) {
-	tb, err := c.buildScale(count, groups, domains)
+// scaleRun is one (count, domains) measurement: wall clocks, event count,
+// the byte-identity artifacts, and — for profiled runs — the combined
+// profile document and its digest findings.
+type scaleRun struct {
+	buildMS, wallMS float64
+	events          uint64
+	summary, prom   string
+	profile         *prof.Profile
+	bottlenecks     []string
+}
+
+// runScalePoint measures one (count, domains) pair.
+func (c ScaleConfig) runScalePoint(count, groups, domains int, profiled bool) (scaleRun, error) {
+	tb, err := c.buildScale(count, groups, domains, profiled)
 	if err != nil {
-		return 0, 0, 0, "", "", err
+		return scaleRun{}, err
 	}
+	var r scaleRun
 	buildStart := time.Now()
 	tb.Start()
-	buildMS = float64(time.Since(buildStart).Nanoseconds()) / 1e6
+	r.buildMS = float64(time.Since(buildStart).Nanoseconds()) / 1e6
 	runStart := time.Now()
 	if err := tb.Run(c.Duration); err != nil {
-		return 0, 0, 0, "", "", err
+		return scaleRun{}, err
 	}
-	wallMS = float64(time.Since(runStart).Nanoseconds()) / 1e6
+	r.wallMS = float64(time.Since(runStart).Nanoseconds()) / 1e6
 	if e := tb.Engine(); e != nil {
 		for i := 0; i < e.NumDomains(); i++ {
-			events += e.Domain(i).Stats().Events
+			r.events += e.Domain(i).Stats().Events
 		}
 	} else {
-		events = tb.Scheduler().Fired()
+		r.events = tb.Scheduler().Fired()
 	}
 	var b strings.Builder
 	if err := telemetry.WritePrometheus(&b, tb.Registry()); err != nil {
-		return 0, 0, 0, "", "", err
+		return scaleRun{}, err
 	}
-	return buildMS, wallMS, events, tb.Summary(), b.String(), nil
+	r.summary, r.prom = tb.Summary(), b.String()
+	if profiled {
+		r.profile = tb.Profile(0)
+		r.bottlenecks = prof.BuildReport(r.profile).Findings
+	}
+	return r, nil
 }
 
 // RunScaleBench sweeps the configured fleet sizes. For each count it
 // measures heap bytes per device once (on the widest partitioned build),
-// then runs the campaign under every Domains in DomainSet, requiring
-// byte-identical Summary and Prometheus output across all of them; the
-// fastest partitioned run supplies WallMS and the devices-per-wall-second
-// headline.
+// then runs the campaign under every Domains in DomainSet — the serial
+// baseline unprofiled, every partitioned member with the profiler attached
+// — requiring byte-identical Summary and Prometheus output across all of
+// them (which simultaneously pins profiling-on == profiling-off); the
+// fastest partitioned run supplies WallMS, the devices-per-wall-second
+// headline, and the profile/bottleneck digest.
 func RunScaleBench(cfg ScaleConfig) ([]ScalePoint, error) {
 	cfg = cfg.withDefaults()
 	var out []ScalePoint
@@ -185,7 +211,7 @@ func RunScaleBench(cfg ScaleConfig) ([]ScalePoint, error) {
 		// partitioned topology, amortized per device.
 		widest := domainSet[len(domainSet)-1]
 		before := liveHeap()
-		tb, err := cfg.buildScale(count, groups, widest)
+		tb, err := cfg.buildScale(count, groups, widest, false)
 		if err != nil {
 			return nil, err
 		}
@@ -202,27 +228,29 @@ func RunScaleBench(cfg ScaleConfig) ([]ScalePoint, error) {
 		}
 		var wantSummary, wantProm string
 		for _, domains := range domainSet {
-			buildMS, wallMS, events, summary, prom, err := cfg.runScalePoint(count, groups, domains)
+			r, err := cfg.runScalePoint(count, groups, domains, domains > 1)
 			if err != nil {
 				return nil, err
 			}
 			if wantSummary == "" {
-				wantSummary, wantProm = summary, prom
-			} else if summary != wantSummary {
+				wantSummary, wantProm = r.summary, r.prom
+			} else if r.summary != wantSummary {
 				return nil, fmt.Errorf("experiments: scale %d devices: Domains=%d Summary diverged\n--- want ---\n%s--- got ---\n%s",
-					count, domains, wantSummary, summary)
-			} else if prom != wantProm {
+					count, domains, wantSummary, r.summary)
+			} else if r.prom != wantProm {
 				return nil, fmt.Errorf("experiments: scale %d devices: Domains=%d Prometheus snapshot diverged", count, domains)
 			}
 			if domains == 1 {
-				pt.SerialWallMS = wallMS
+				pt.SerialWallMS = r.wallMS
 			}
-			if domains > 1 && (pt.WallMS == 0 || wallMS < pt.WallMS) {
+			if domains > 1 && (pt.WallMS == 0 || r.wallMS < pt.WallMS) {
 				pt.Domains = domains
 				pt.Workers = domains
-				pt.WallMS = wallMS
-				pt.BuildMS = buildMS
-				pt.Events = events
+				pt.WallMS = r.wallMS
+				pt.BuildMS = r.buildMS
+				pt.Events = r.events
+				pt.Profile = r.profile
+				pt.Bottlenecks = r.bottlenecks
 			}
 		}
 		if pt.WallMS == 0 {

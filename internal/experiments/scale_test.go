@@ -21,7 +21,7 @@ func TestHeapBudget10kDevices(t *testing.T) {
 	groups := scaleGroups(count)
 
 	before := liveHeap()
-	tb, err := cfg.buildScale(count, groups, 2)
+	tb, err := cfg.buildScale(count, groups, 2, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,5 +70,11 @@ func TestRunScaleBenchSmoke(t *testing.T) {
 	}
 	if pt.DevicesPerWallSecond <= 0 {
 		t.Fatalf("no throughput headline: %+v", pt)
+	}
+	if pt.Profile == nil || pt.Profile.Virtual == nil || pt.Profile.Engine == nil {
+		t.Fatalf("headline run's profile sections missing: %+v", pt.Profile)
+	}
+	if len(pt.Bottlenecks) == 0 {
+		t.Fatal("no bottleneck findings for the scale point")
 	}
 }

@@ -195,6 +195,14 @@ func (n *Network) Tracer() *trace.Tracer { return n.tracer }
 // SetTelemetry is called.
 func (n *Network) SetMetricEntityLimit(limit int) { n.metricLimit = limit }
 
+// Links returns every link in creation order — the deterministic
+// enumeration the profiler's per-entity attribution walks.
+func (n *Network) Links() []*Link {
+	out := make([]*Link, len(n.links))
+	copy(out, n.links)
+	return out
+}
+
 // metricSlot reports whether one more entity may register its series,
 // consuming a slot when it can.
 func (n *Network) metricSlot() bool {
@@ -796,6 +804,26 @@ func (l *Link) Counters() LinkStats {
 	}
 	return s
 }
+
+// CountersSide reports the counter set of the single direction sending
+// FROM ends[side] — the per-direction view the virtual-load profiler
+// attributes cross-domain frames with (Counters sums both directions).
+func (l *Link) CountersSide(side int) LinkStats {
+	d := l.dirs[side]
+	return LinkStats{
+		TxFrames:      d.txFrames.Value(),
+		TxBytes:       d.txBytes.Value(),
+		QueueDrops:    d.dropFrames.Value(),
+		LossFrames:    d.lossFrames.Value(),
+		CorruptFrames: d.corruptFrames.Value(),
+		DupFrames:     d.dupFrames.Value(),
+		ReorderFrames: d.reorderFrames.Value(),
+		InFlightDrops: d.inflightDrops.Value(),
+	}
+}
+
+// String names the link by its forward direction's port pair ("a->b").
+func (l *Link) String() string { return l.dirs[0].name }
 
 // serializationTime is how long a frame of n bytes occupies the transmitter.
 func (l *Link) serializationTime(n int) sim.Time {

@@ -25,6 +25,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // maxLookahead bounds the lookahead so window arithmetic (T + lookahead)
@@ -50,9 +51,36 @@ type DomainStats struct {
 	// MsgsOut and MsgsIn count cross-domain messages sent and received.
 	MsgsOut uint64
 	MsgsIn  uint64
-	// HorizonLag is how far the domain's clock trailed the epoch frontier
-	// at the end of the last window (idle domains lag the most).
+	// HorizonLag is the running maximum, across every window executed so
+	// far, of how far the domain's clock trailed the epoch frontier at the
+	// end of a window (idle domains lag the most). A last-window-only value
+	// is useless post-run — the final window usually drains every queue —
+	// so the max is what diagnosis wants.
 	HorizonLag Time
+}
+
+// EngineProbe observes engine execution for the simulation profiler. All
+// callbacks are invoked from the engine's coordinator goroutine (never from
+// a domain worker), so implementations need no locking. The virtual-time
+// arguments (window bounds, event counts, message counts) are deterministic
+// for a fixed (topology, seed, Domains) configuration; the wall-clock
+// nanosecond arguments are not and must never leak into deterministic
+// artifacts.
+type EngineProbe interface {
+	// OnEpoch fires once per epoch, after the previous epoch's cross-domain
+	// merge and before the epoch's windows run. start/end are the epoch
+	// window bounds (end exclusive); mergeNs is the wall clock the merge
+	// just consumed.
+	OnEpoch(start, end Time, mergeNs int64)
+	// OnCrossMessages fires during merge, once per non-empty (sender,
+	// receiver) outbox: n messages from domain `from` are being delivered
+	// into domain `to` this epoch.
+	OnCrossMessages(from, to, n int)
+	// OnDomainWindow fires once per domain per epoch, after the barrier:
+	// the domain fired events events this window, spent execNs wall clock
+	// executing them, and then waited waitNs at the barrier for the epoch's
+	// slowest domain (0 on the serial path, which has no barrier).
+	OnDomainWindow(domain int, events uint64, execNs, waitNs int64)
 }
 
 // Domain is one partition of the simulated world: a private scheduler plus
@@ -75,7 +103,14 @@ type Domain struct {
 	msgsOut uint64
 	msgsIn  uint64
 	waits   uint64
-	lag     Time
+	maxLag  Time
+
+	// Probe scratch, written by runWindow (or the timing wrapper around it)
+	// and read by the coordinator after the barrier; the WaitGroup provides
+	// the happens-before edge on the parallel path.
+	lastEvents uint64
+	lastExecNs int64
+	doneAtNs   int64
 
 	err error // window panic captured by the worker goroutine
 }
@@ -93,7 +128,7 @@ func (d *Domain) Stats() DomainStats {
 		BarrierWaits: d.waits,
 		MsgsOut:      d.msgsOut,
 		MsgsIn:       d.msgsIn,
-		HorizonLag:   d.lag,
+		HorizonLag:   d.maxLag,
 	}
 }
 
@@ -142,11 +177,22 @@ func (d *Domain) runWindow(end Time) {
 	for len(s.queue) > 0 && s.queue[0].at < end {
 		s.Step()
 	}
-	d.lag = end - 1 - s.now
-	if d.lag < 0 {
-		d.lag = 0
+	if lag := end - 1 - s.now; lag > d.maxLag {
+		d.maxLag = lag
 	}
 	d.waits++
+}
+
+// runWindowTimed is runWindow plus the probe's wall-clock accounting:
+// events fired, execute nanoseconds, and the instant the domain finished
+// (the barrier-wait baseline). Only called when a probe is attached.
+func (d *Domain) runWindowTimed(end Time) {
+	fired := d.sched.Fired()
+	start := time.Now()
+	d.runWindow(end)
+	d.lastExecNs = time.Since(start).Nanoseconds()
+	d.lastEvents = d.sched.Fired() - fired
+	d.doneAtNs = time.Now().UnixNano()
 }
 
 // Engine drives K domains through conservative epochs.
@@ -155,6 +201,7 @@ type Engine struct {
 	lookahead Time
 	epochs    uint64
 	stopped   atomic.Bool
+	probe     EngineProbe // nil unless a profiler is attached
 
 	inbox []*message // merge scratch, reused across epochs
 }
@@ -197,6 +244,14 @@ func (e *Engine) SetLookahead(t Time) {
 // Epochs reports how many barrier epochs Run has executed so far.
 func (e *Engine) Epochs() uint64 { return e.epochs }
 
+// SetProbe attaches (or, with nil, detaches) an execution probe. Call
+// before Run; a nil probe keeps every hot path exactly as it was (no
+// timestamping, no callbacks).
+func (e *Engine) SetProbe(p EngineProbe) { e.probe = p }
+
+// Probe reports the attached probe (nil when none).
+func (e *Engine) Probe() EngineProbe { return e.probe }
+
 // Stop halts a running engine at the next barrier. Safe to call from any
 // goroutine (e.g. a domain event deciding to end the run).
 func (e *Engine) Stop() { e.stopped.Store(true) }
@@ -216,6 +271,9 @@ func (e *Engine) mergeOutboxes() {
 		pending := e.inbox[:0]
 		for _, d := range e.domains {
 			if box := d.out[ti]; len(box) > 0 {
+				if e.probe != nil {
+					e.probe.OnCrossMessages(d.idx, ti, len(box))
+				}
 				pending = append(pending, box...)
 				d.out[ti] = box[:0]
 			}
@@ -289,13 +347,21 @@ func (e *Engine) Run(horizon Time, workers int) error {
 			if e.stopped.Load() {
 				return ErrStopped
 			}
-			e.mergeOutboxes()
-			w, ok := e.nextWindow(horizon)
+			w, ok := e.stepEpochHeader(horizon)
 			if !ok {
 				break
 			}
-			for _, d := range e.domains {
-				d.runWindow(w)
+			if e.probe != nil {
+				for _, d := range e.domains {
+					d.runWindowTimed(w)
+				}
+				for _, d := range e.domains {
+					e.probe.OnDomainWindow(d.idx, d.lastEvents, d.lastExecNs, 0)
+				}
+			} else {
+				for _, d := range e.domains {
+					d.runWindow(w)
+				}
 			}
 			e.epochs++
 		}
@@ -308,18 +374,41 @@ func (e *Engine) Run(horizon Time, workers int) error {
 	return nil
 }
 
-// nextWindow merges nothing; it derives the epoch window (exclusive end)
-// from the earliest pending event and the lookahead, capped at horizon+1 so
-// events at exactly the horizon still fire. ok is false when no event at or
-// before the horizon remains.
-func (e *Engine) nextWindow(horizon Time) (Time, bool) {
+// nextWindow merges nothing; it derives the epoch window from the earliest
+// pending event and the lookahead: start is that event's time, end
+// (exclusive) is capped at horizon+1 so events at exactly the horizon still
+// fire. ok is false when no event at or before the horizon remains.
+func (e *Engine) nextWindow(horizon Time) (start, end Time, ok bool) {
 	t, ok := e.minNextEvent()
 	if !ok || t > horizon {
-		return 0, false
+		return 0, 0, false
 	}
 	w := horizon + 1
 	if e.lookahead < w-t {
 		w = t + e.lookahead
+	}
+	return t, w, true
+}
+
+// stepEpochHeader runs the between-windows part of one epoch: merge the
+// previous epoch's outboxes and derive the next window. With a probe
+// attached the merge is timed and the probe's OnEpoch fires with the
+// window bounds. Shared by the serial and parallel epoch loops.
+func (e *Engine) stepEpochHeader(horizon Time) (Time, bool) {
+	var mergeNs int64
+	if e.probe != nil {
+		start := time.Now()
+		e.mergeOutboxes()
+		mergeNs = time.Since(start).Nanoseconds()
+	} else {
+		e.mergeOutboxes()
+	}
+	t, w, ok := e.nextWindow(horizon)
+	if !ok {
+		return 0, false
+	}
+	if e.probe != nil {
+		e.probe.OnEpoch(t, w, mergeNs)
 	}
 	return w, true
 }
@@ -335,6 +424,7 @@ func (e *Engine) runParallel(horizon Time, workers int) error {
 	done := make(chan struct{})
 	defer close(done)
 	sem := make(chan struct{}, workers)
+	probed := e.probe != nil
 	for i := range e.domains {
 		windowCh[i] = make(chan Time, 1)
 		go func(d *Domain, win <-chan Time) {
@@ -350,7 +440,11 @@ func (e *Engine) runParallel(horizon Time, workers int) error {
 								d.err = fmt.Errorf("sim: domain %d window panic: %v", d.idx, r)
 							}
 						}()
-						d.runWindow(w)
+						if probed {
+							d.runWindowTimed(w)
+						} else {
+							d.runWindow(w)
+						}
 					}()
 					<-sem
 					wg.Done()
@@ -362,8 +456,7 @@ func (e *Engine) runParallel(horizon Time, workers int) error {
 		if e.stopped.Load() {
 			return ErrStopped
 		}
-		e.mergeOutboxes()
-		w, ok := e.nextWindow(horizon)
+		w, ok := e.stepEpochHeader(horizon)
 		if !ok {
 			return nil
 		}
@@ -372,6 +465,19 @@ func (e *Engine) runParallel(horizon Time, workers int) error {
 			windowCh[i] <- w
 		}
 		wg.Wait()
+		if probed {
+			// Barrier accounting: each domain's wait is the gap between
+			// finishing its window and the barrier releasing (now). The
+			// slowest domain — the straggler — waits ~0.
+			barrier := time.Now().UnixNano()
+			for _, d := range e.domains {
+				waitNs := barrier - d.doneAtNs
+				if waitNs < 0 {
+					waitNs = 0
+				}
+				e.probe.OnDomainWindow(d.idx, d.lastEvents, d.lastExecNs, waitNs)
+			}
+		}
 		for _, d := range e.domains {
 			if d.err != nil {
 				err := d.err

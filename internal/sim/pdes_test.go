@@ -215,6 +215,33 @@ func TestEngineCrossDomainMessageAllocFree(t *testing.T) {
 	}
 }
 
+// TestHorizonLagRunningMax pins the DomainStats.HorizonLag regression:
+// the stat must report the maximum lag across every window, not the last
+// window's value. Domain 1 trails the frontier by 44 in the first epoch
+// but finishes the final window right at its edge (lag 0); the old
+// last-window-only accounting reported 0, which made the stat useless for
+// post-run straggler diagnosis.
+func TestHorizonLagRunningMax(t *testing.T) {
+	e := NewEngine(2, 50)
+	noop := func() {}
+	e.Domain(0).Scheduler().At(0, noop)
+	e.Domain(0).Scheduler().At(1000, noop)
+	e.Domain(1).Scheduler().At(5, noop)
+	e.Domain(1).Scheduler().At(1049, noop)
+	if err := e.Run(2000, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1 window is [0,50): domain 1 ends at clock 5, lag 49-5 = 44.
+	// Epoch 2 window is [1000,1050): domain 1 ends at 1049, lag 0.
+	if got := e.Domain(1).Stats().HorizonLag; got != 44 {
+		t.Fatalf("domain 1 HorizonLag = %d, want running max 44", got)
+	}
+	// Domain 0 lags 49 in both windows.
+	if got := e.Domain(0).Stats().HorizonLag; got != 49 {
+		t.Fatalf("domain 0 HorizonLag = %d, want 49", got)
+	}
+}
+
 func TestEngineIdleDomains(t *testing.T) {
 	e := NewEngine(4, 10)
 	fired := 0

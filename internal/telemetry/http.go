@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 
 	"ddoshield/internal/sim"
@@ -20,15 +21,31 @@ import (
 // buffers, and handlers serve the latest snapshot under a read lock.
 // This keeps live export race-free without slowing the hot path.
 type LiveServer struct {
+	opts    LiveServerOptions
 	mu      sync.RWMutex
 	prom    []byte
 	json    []byte
 	trace   []byte
+	profile []byte
 	updates uint64
+}
+
+// LiveServerOptions tunes the optional endpoints.
+type LiveServerOptions struct {
+	// EnablePprof mounts net/http/pprof under /debug/pprof/, exposing the
+	// Go runtime's CPU/heap/goroutine profiles for the host process. Off
+	// by default: pprof reveals process internals and belongs only on
+	// explicitly requested debug listeners.
+	EnablePprof bool
 }
 
 // NewLiveServer returns a server with empty snapshots.
 func NewLiveServer() *LiveServer { return &LiveServer{} }
+
+// NewLiveServerOptions returns a server with the given options.
+func NewLiveServerOptions(opts LiveServerOptions) *LiveServer {
+	return &LiveServer{opts: opts}
+}
 
 // Update re-renders all three snapshots. Call from the simulation thread.
 func (s *LiveServer) Update(now sim.Time, reg *Registry, rec *Recorder) {
@@ -41,6 +58,16 @@ func (s *LiveServer) Update(now sim.Time, reg *Registry, rec *Recorder) {
 	s.json = jsonBuf.Bytes()
 	s.trace = trace.Bytes()
 	s.updates++
+	s.mu.Unlock()
+}
+
+// UpdateProfile publishes the latest simulation profile document (served
+// at /profile.json). Kept separate from Update because rendering the
+// profile walks the whole topology, which callers may want at a coarser
+// cadence than the metrics tick.
+func (s *LiveServer) UpdateProfile(data []byte) {
+	s.mu.Lock()
+	s.profile = data
 	s.mu.Unlock()
 }
 
@@ -75,5 +102,15 @@ func (s *LiveServer) Handler() http.Handler {
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		s.serve(w, "application/json", func() []byte { return s.trace })
 	})
+	mux.HandleFunc("/profile.json", func(w http.ResponseWriter, _ *http.Request) {
+		s.serve(w, "application/json", func() []byte { return s.profile })
+	})
+	if s.opts.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }

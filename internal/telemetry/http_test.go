@@ -101,6 +101,48 @@ func TestLiveServerServesSnapshots(t *testing.T) {
 	}
 }
 
+// TestLiveServerProfileEndpoint checks /profile.json serves exactly the
+// bytes published by UpdateProfile (204 before the first publish).
+func TestLiveServerProfileEndpoint(t *testing.T) {
+	s := NewLiveServer()
+	h := s.Handler()
+	status, _, _ := get(t, h, "/profile.json")
+	if status != http.StatusNoContent {
+		t.Fatalf("/profile.json before publish: status=%d, want 204", status)
+	}
+	doc := `{"virtual":{"eval_domains":3}}`
+	s.UpdateProfile([]byte(doc))
+	status, ct, body := get(t, h, "/profile.json")
+	if status != http.StatusOK || ct != "application/json" {
+		t.Fatalf("/profile.json: status=%d content-type=%q", status, ct)
+	}
+	if body != doc {
+		t.Fatalf("/profile.json body = %q, want %q", body, doc)
+	}
+}
+
+// TestLiveServerPprofOptIn pins the pprof exposure contract: the runtime
+// profiler endpoints exist only when LiveServerOptions.EnablePprof is set;
+// the default handler keeps them 404.
+func TestLiveServerPprofOptIn(t *testing.T) {
+	status, _, _ := get(t, NewLiveServer().Handler(), "/debug/pprof/")
+	if status != http.StatusNotFound {
+		t.Fatalf("default handler serves pprof: status=%d, want 404", status)
+	}
+	s := NewLiveServerOptions(LiveServerOptions{EnablePprof: true})
+	h := s.Handler()
+	status, _, body := get(t, h, "/debug/pprof/")
+	if status != http.StatusOK {
+		t.Fatalf("pprof index: status=%d, want 200", status)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index body unexpected:\n%s", body)
+	}
+	if status, _, _ = get(t, h, "/debug/pprof/cmdline"); status != http.StatusOK {
+		t.Fatalf("pprof cmdline: status=%d, want 200", status)
+	}
+}
+
 // TestLiveServerUpdateRefreshesCache verifies handlers serve the latest
 // published snapshot, not the one rendered at first Update.
 func TestLiveServerUpdateRefreshesCache(t *testing.T) {

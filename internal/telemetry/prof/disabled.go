@@ -1,0 +1,7 @@
+//go:build prof_off
+
+package prof
+
+// Enabled is false under -tags prof_off: profiler attach sites compile
+// away and the engine never sees a probe.
+const Enabled = false

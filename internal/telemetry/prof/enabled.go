@@ -1,0 +1,9 @@
+//go:build !prof_off
+
+package prof
+
+// Enabled reports whether the profiler is compiled in. Attach sites guard
+// on it (`if cfg.Profile && prof.Enabled { ... }`), so building with
+// -tags prof_off folds the constant to false and dead-code-eliminates the
+// profiler construction, the engine probe attach and every phase timer.
+const Enabled = true

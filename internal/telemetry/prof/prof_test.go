@@ -1,0 +1,201 @@
+package prof
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ddoshield/internal/sim"
+)
+
+// TestProfilerHotPathAllocFree pins the enabled profiler's probe callbacks
+// at zero allocations: every accumulator is preallocated at New, so epoch
+// loops never pay for observation. CI runs this by name.
+func TestProfilerHotPathAllocFree(t *testing.T) {
+	p := New(8)
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.OnEpoch(1000, 6000, 250)
+		p.OnCrossMessages(1, 0, 3)
+		p.OnCrossMessages(0, 7, 2)
+		p.OnDomainWindow(0, 40, 1200, 300)
+		p.OnDomainWindow(7, 2, 80, 900)
+	})
+	if allocs != 0 {
+		t.Fatalf("probe hot path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestEngineProbeAllocFree pins the engine's probe-attached epoch loop at
+// zero allocations per cross-domain round trip, matching the probe-less
+// guarantee.
+func TestEngineProbeAllocFree(t *testing.T) {
+	e := sim.NewEngine(2, 25)
+	p := New(2)
+	e.SetProbe(p)
+	var ping, pong sim.Handler
+	ping = func() {
+		e.Domain(0).Post(e.Domain(1), e.Domain(0).Scheduler().Now()+25, pong)
+	}
+	pong = func() {
+		e.Domain(1).Post(e.Domain(0), e.Domain(1).Scheduler().Now()+25, ping)
+	}
+	e.Domain(0).Scheduler().At(0, ping)
+	// Warm pools: message structs, outbox slices, scheduler nodes, scratch.
+	if err := e.RunFor(10_000, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := e.RunFor(1_000, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("probed engine epoch loop allocates %.1f/op, want 0", allocs)
+	}
+	if p.epochs == 0 || p.crossTotal == 0 || p.events[0] == 0 || p.events[1] == 0 {
+		t.Fatalf("probe saw no traffic: epochs=%d cross=%d events=%v", p.epochs, p.crossTotal, p.events)
+	}
+	if p.execNs[0] < 0 || p.mergeNs < 0 {
+		t.Fatal("negative wall accounting")
+	}
+}
+
+// TestPhaseAccumulation checks phase timers accumulate across open/close
+// cycles and ignore unmatched EndPhase calls.
+func TestPhaseAccumulation(t *testing.T) {
+	p := New(1)
+	p.EndPhase(PhaseRun) // not open: no-op
+	if got := p.PhaseNs(PhaseRun); got != 0 {
+		t.Fatalf("unmatched EndPhase recorded %d ns", got)
+	}
+	for i := 0; i < 2; i++ {
+		p.StartPhase(PhaseRun)
+		time.Sleep(time.Millisecond)
+		p.EndPhase(PhaseRun)
+	}
+	if got := p.PhaseNs(PhaseRun); got < int64(time.Millisecond) {
+		t.Fatalf("accumulated run phase %d ns, want >= 1ms", got)
+	}
+	wp := p.WallProfile()
+	found := false
+	for _, ph := range wp.Phases {
+		if ph.Phase == "run" && ph.MS > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("WallProfile missing run phase: %+v", wp.Phases)
+	}
+}
+
+// TestNilProfilerSafe checks every method tolerates a nil receiver, so
+// call sites stay branch-free.
+func TestNilProfilerSafe(t *testing.T) {
+	var p *Profiler
+	p.OnEpoch(0, 10, 1)
+	p.OnCrossMessages(0, 1, 2)
+	p.OnDomainWindow(0, 1, 2, 3)
+	p.StartPhase(PhaseBuild)
+	p.EndPhase(PhaseBuild)
+	if p.WallProfile() != nil {
+		t.Fatal("nil profiler WallProfile should be nil")
+	}
+	if p.Domains() != 0 || p.PhaseNs(PhaseRun) != 0 {
+		t.Fatal("nil profiler accessors should be zero")
+	}
+}
+
+// TestBuildVirtualDeterministic pins the virtual section's canonical
+// ordering: byte-equal JSON for permuted but equal inputs.
+func TestBuildVirtualDeterministic(t *testing.T) {
+	entities := []Entity{
+		{Name: "lan0", Kind: KindSwitch, Domain: 0, Events: 900},
+		{Name: "dev00", Kind: KindDevice, Domain: 1, Events: 100},
+		{Name: "dev01", Kind: KindDevice, Domain: 2, Events: 300},
+		{Name: "trunk0", Kind: KindLink, Domain: -1, Events: 500},
+	}
+	cross := []CrossLoad{{From: 2, To: 0, Count: 7}, {From: 0, To: 1, Count: 3}}
+	a := BuildVirtual(3, entities, cross, 2)
+	// Reversed input order: aggregation must not depend on it.
+	rev := []Entity{entities[3], entities[2], entities[1], entities[0]}
+	b := BuildVirtual(3, rev, []CrossLoad{cross[1], cross[0]}, 2)
+	aj, err := (&Profile{Virtual: a}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := (&Profile{Virtual: b}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("virtual profile JSON depends on input order:\n--- a ---\n%s--- b ---\n%s", aj, bj)
+	}
+	if a.TotalEvents != 1800 || a.Entities != 4 {
+		t.Fatalf("totals: got %d events over %d entities", a.TotalEvents, a.Entities)
+	}
+	// Domain attribution excludes the link (Domain -1): 900+100+300 over 3
+	// domains, mean ~433.3, max 900 -> imbalance ~2.08.
+	if a.ImbalanceIndex < 2.0 || a.ImbalanceIndex > 2.1 {
+		t.Fatalf("imbalance index %.3f, want ~2.08", a.ImbalanceIndex)
+	}
+	if a.TopEntities[0].Name != "lan0" || a.TopEntities[0].XMean != 2.0 {
+		t.Fatalf("top entity %+v, want lan0 at 2.0x mean", a.TopEntities[0])
+	}
+	if a.Cross[0].From != 0 || a.Cross[1].From != 2 {
+		t.Fatalf("cross pairs unsorted: %+v", a.Cross)
+	}
+}
+
+// TestReportRendersFindings exercises the digest over a fully populated
+// profile: the table renders every section and the findings name the
+// straggler, the hot entity and the core-switch serialization.
+func TestReportRendersFindings(t *testing.T) {
+	entities := []Entity{
+		{Name: "lan0", Kind: KindSwitch, Domain: 0, Events: 6200},
+		{Name: "dev00", Kind: KindDevice, Domain: 1, Events: 800},
+		{Name: "dev01", Kind: KindDevice, Domain: 2, Events: 1000},
+	}
+	p := &Profile{
+		Virtual: BuildVirtual(3, entities, []CrossLoad{{From: 1, To: 0, Count: 50}}, 3),
+		Engine: &EngineProfile{
+			Domains: 3, Epochs: 10, LookaheadNs: 5e6,
+			PerDomain: []DomainEngine{
+				{Domain: 0, Events: 6200, MsgsIn: 90, MsgsOut: 10},
+				{Domain: 1, Events: 800, MsgsIn: 5, MsgsOut: 60},
+				{Domain: 2, Events: 1000, MsgsIn: 5, MsgsOut: 40},
+			},
+			Cross: []CrossLoad{{From: 1, To: 0, Count: 60}, {From: 2, To: 0, Count: 40}},
+		},
+		Wall: &WallProfile{
+			Phases: []PhaseWall{{Phase: "build", MS: 10}, {Phase: "run", MS: 200}},
+			PerDomain: []DomainWall{
+				{Domain: 0, ExecMS: 180, WaitMS: 2, WaitShare: 0.01},
+				{Domain: 1, ExecMS: 20, WaitMS: 140, WaitShare: 0.875},
+				{Domain: 2, ExecMS: 30, WaitMS: 130, WaitShare: 0.81},
+			},
+		},
+	}
+	r := BuildReport(p)
+	out := r.String()
+	for _, want := range []string{
+		"switch lan0",
+		"core-domain switch serializes",
+		"domain 1 spent 88% of its epoch wall clock waiting",
+		"straggler: domain 0",
+		"imbalance",
+		"1->0: 60 msgs (60% of 100 total)",
+		"campaign phases: build 10.0 ms, run 200.0 ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Table has one row per domain with all three sections populated.
+	if !strings.Contains(out, "virt events") || !strings.Contains(out, "wait %") {
+		t.Errorf("table headers missing:\n%s", out)
+	}
+	if BuildReport(nil).String() != "" {
+		t.Error("nil profile should render empty report")
+	}
+}

@@ -37,7 +37,14 @@ type placement struct {
 // layout computes the fleet placement for the configuration. Requires
 // withDefaults() to have run (Profiles, MeanThink, group/domain counts
 // populated).
-func (c Config) layout() placement {
+func (c Config) layout() placement { return c.layoutDomains(c.Domains) }
+
+// layoutDomains computes the placement for an arbitrary domain count,
+// independent of c.Domains. The execution engine uses the layout at
+// c.Domains (via layout); the profiler's virtual-load attribution
+// re-evaluates the same pure function at a fixed reference count so its
+// snapshot is byte-identical across Domains settings.
+func (c Config) layoutDomains(domains int) placement {
 	pl := placement{
 		weights:      make([]float64, c.NumDevices),
 		deviceGroup:  make([]int, c.NumDevices),
@@ -50,7 +57,7 @@ func (c Config) layout() placement {
 	if c.DeviceGroups > 1 {
 		pl.deviceGroup = partitionLPT(pl.weights, c.DeviceGroups)
 	}
-	if c.Domains > 1 {
+	if domains > 1 {
 		if c.DeviceGroups > 1 {
 			// Domain granularity is the group: a group's devices share an
 			// edge switch, and that whole subtree must execute in one
@@ -60,7 +67,7 @@ func (c Config) layout() placement {
 			for i, g := range pl.deviceGroup {
 				groupWeight[g] += pl.weights[i]
 			}
-			bins := partitionLPT(groupWeight, c.Domains-1)
+			bins := partitionLPT(groupWeight, domains-1)
 			pl.groupDomain = make([]int, c.DeviceGroups)
 			for g, b := range bins {
 				pl.groupDomain[g] = 1 + b
@@ -71,7 +78,7 @@ func (c Config) layout() placement {
 		} else {
 			// Flat topology, partitioned execution: devices spread
 			// directly over the non-core domains.
-			bins := partitionLPT(pl.weights, c.Domains-1)
+			bins := partitionLPT(pl.weights, domains-1)
 			for i, b := range bins {
 				pl.deviceDomain[i] = 1 + b
 			}

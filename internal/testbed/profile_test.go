@@ -1,0 +1,172 @@
+package testbed
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"ddoshield/internal/telemetry"
+	"ddoshield/internal/telemetry/prof"
+	"ddoshield/internal/telemetry/trace"
+)
+
+// profileArtifacts runs the standard determinism campaign (the
+// pdesRunArtifacts scenario) with the profiler toggled, returning every
+// byte-comparable artifact, the virtual-load attribution JSON, and the
+// testbed for section-level checks.
+func profileArtifacts(t *testing.T, domains, workers int, profile bool) (summary, prom, spans, virtual string, tb *Testbed) {
+	t.Helper()
+	tb, err := New(Config{
+		Seed:              42,
+		NumDevices:        12,
+		DeviceGroups:      4,
+		MeanThink:         700 * time.Millisecond,
+		Domains:           domains,
+		PDESWorkers:       workers,
+		Profile:           profile,
+		TraceSampleRate:   0.2,
+		TraceSpanCapacity: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Start()
+	tb.ScheduleAttackWave(8*time.Second, 2*time.Second,
+		tb.DefaultAttackWave(4*time.Second, 150))
+	if err := tb.Run(25 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var pb, sb bytes.Buffer
+	if err := telemetry.WritePrometheus(&pb, tb.Registry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteSpans(&sb, trace.CanonicalSpans(tb.Tracer().Spans())); err != nil {
+		t.Fatal(err)
+	}
+	vj, err := (&prof.Profile{Virtual: tb.VirtualProfile(0)}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb.Summary(), pb.String(), sb.String(), string(vj), tb
+}
+
+// TestProfileDeterminism is the observability tentpole's regression test:
+// attaching the profiler must not perturb any deterministic artifact —
+// Summary, Prometheus snapshot and canonical spans stay byte-identical to
+// the unprofiled serial baseline across Domains ∈ {1, 2, NumCPU} — and the
+// virtual-load attribution itself is byte-identical across every run,
+// because it is evaluated through the reference layout rather than the
+// execution partitioning. CI runs this by name in the profiler job.
+func TestProfileDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiled determinism matrix is slow")
+	}
+	wantSummary, wantProm, wantSpans, wantVirtual, _ := profileArtifacts(t, 1, 1, false)
+	if wantSpans == "" {
+		t.Fatal("baseline produced no trace spans")
+	}
+	cpus := runtime.NumCPU()
+	if cpus < 4 {
+		cpus = 4
+	}
+	for _, tc := range []struct {
+		domains, workers int
+	}{
+		{1, 1},
+		{2, 0},
+		{cpus, 0},
+	} {
+		summary, prom, spans, virtual, tb := profileArtifacts(t, tc.domains, tc.workers, true)
+		if summary != wantSummary {
+			t.Fatalf("domains=%d profiled: Summary diverged\n--- baseline ---\n%s--- profiled ---\n%s",
+				tc.domains, wantSummary, summary)
+		}
+		if prom != wantProm {
+			t.Fatalf("domains=%d profiled: Prometheus snapshot diverged (%d vs %d bytes)",
+				tc.domains, len(wantProm), len(prom))
+		}
+		if spans != wantSpans {
+			t.Fatalf("domains=%d profiled: canonical span output diverged (%d vs %d bytes)",
+				tc.domains, len(wantSpans), len(spans))
+		}
+		if virtual != wantVirtual {
+			t.Fatalf("domains=%d: virtual profile diverged from baseline\n--- baseline ---\n%s--- got ---\n%s",
+				tc.domains, wantVirtual, virtual)
+		}
+		if !prof.Enabled {
+			continue
+		}
+		if tb.Profiler() == nil {
+			t.Fatal("Config.Profile set but Profiler() is nil")
+		}
+		p := tb.Profile(0)
+		if p.Wall == nil || len(p.Wall.Phases) == 0 {
+			t.Fatal("profiled run missing wall phases")
+		}
+		if tc.domains > 1 {
+			if p.Engine == nil || p.Engine.Window == nil {
+				t.Fatalf("domains=%d profiled: engine section incomplete: %+v", tc.domains, p.Engine)
+			}
+			if len(p.Wall.PerDomain) != tc.domains {
+				t.Fatalf("domains=%d: wall per-domain rows = %d", tc.domains, len(p.Wall.PerDomain))
+			}
+		}
+		if rep := tb.BottleneckReport(0).String(); rep == "" {
+			t.Fatal("bottleneck report rendered empty")
+		}
+	}
+}
+
+// TestVirtualProfileShape pins the attribution's structure on a short
+// grouped campaign: the default reference layout is one domain per group
+// plus the core, every entity kind is represented, the trunk traffic shows
+// up as cross-domain frames, and the core switch — every trunk crossing's
+// serialization point — ranks among the hottest entities.
+func TestVirtualProfileShape(t *testing.T) {
+	tb, err := New(Config{Seed: 11, NumDevices: 8, DeviceGroups: 2, MeanThink: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Start()
+	if err := tb.Run(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	vp := tb.VirtualProfile(0)
+	if vp.EvalDomains != 3 {
+		t.Fatalf("eval domains = %d, want DeviceGroups+1 = 3", vp.EvalDomains)
+	}
+	kinds := map[string]bool{}
+	for _, k := range vp.Kinds {
+		kinds[k.Kind] = true
+	}
+	for _, want := range []string{prof.KindDevice, prof.KindSwitch, prof.KindLink, prof.KindHost, prof.KindFaults} {
+		if !kinds[want] {
+			t.Errorf("virtual profile missing kind %q: %+v", want, vp.Kinds)
+		}
+	}
+	if len(vp.Cross) == 0 {
+		t.Fatal("grouped topology produced no cross-domain frames")
+	}
+	var coreIn uint64
+	for _, c := range vp.Cross {
+		if c.To == 0 {
+			coreIn += c.Count
+		}
+	}
+	if coreIn == 0 {
+		t.Fatalf("no frames attributed into the core domain: %+v", vp.Cross)
+	}
+	found := false
+	for _, e := range vp.TopEntities {
+		if e.Kind == prof.KindSwitch && e.Name == "lan0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("core switch missing from top entities: %+v", vp.TopEntities)
+	}
+	if vp.ImbalanceIndex < 1 {
+		t.Fatalf("imbalance index %.3f < 1", vp.ImbalanceIndex)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
 	"ddoshield/internal/telemetry"
+	"ddoshield/internal/telemetry/prof"
 	"ddoshield/internal/telemetry/trace"
 )
 
@@ -187,6 +188,16 @@ type Config struct {
 	// PDESWorkers bounds how many domains execute concurrently
 	// (0 = Domains). Ignored when Domains <= 1.
 	PDESWorkers int
+	// Profile attaches the simulation profiler: campaign phase timers
+	// (build/start/run/teardown) plus, under the PDES engine, per-domain
+	// execute/barrier-wait wall clocks, epoch window widths and the merged
+	// cross-domain message matrix. The profiler observes only — every
+	// deterministic artifact (Summary, metrics, canonical spans) is
+	// byte-identical with it on or off, a property the determinism tests
+	// pin. Compiled out entirely under the prof_off build tag. The
+	// virtual-load attribution (VirtualProfile) needs no profiler and is
+	// available regardless.
+	Profile bool
 	// PrimeARP installs static ARP entries for every pair that will
 	// exchange traffic (device and its benign target, attacker/C2/TServer
 	// and the scannable plane) instead of resolving on first use, and
@@ -300,6 +311,12 @@ type Testbed struct {
 
 	idsUnits []*ids.Unit
 
+	// prof is the wall-clock profiler (nil unless Config.Profile and the
+	// prof build is enabled); profLinks records every link's structural
+	// endpoints for the virtual-load attribution (always populated).
+	prof      *prof.Profiler
+	profLinks []profLink
+
 	started bool
 }
 
@@ -331,6 +348,10 @@ func New(cfg Config) (*Testbed, error) {
 		cfg:   cfg,
 		churn: make(map[*container.Container]*churnState),
 	}
+	if cfg.Profile && prof.Enabled {
+		tb.prof = prof.New(cfg.Domains)
+	}
+	tb.prof.StartPhase(prof.PhaseBuild)
 	// Deterministic load-aware placement: device -> group, group -> domain
 	// (see partition.go). Computed up front because edge switches must be
 	// created in their groups' domains before any device exists.
@@ -460,6 +481,9 @@ func New(cfg Config) (*Testbed, error) {
 	if err != nil {
 		return nil, fmt.Errorf("testbed: %w", err)
 	}
+	for _, c := range []*container.Container{tb.tserver, tb.idsC, tb.c2C, tb.attackerC} {
+		tb.trackLink(c.Link(), linkEnd{kind: endCore}, linkEnd{kind: endCore})
+	}
 
 	// Access layer: with DeviceGroups > 1 every group gets an edge switch
 	// trunked to the core lan0, placed in the group's PDES domain (domain
@@ -469,7 +493,8 @@ func New(cfg Config) (*Testbed, error) {
 		for g := 0; g < cfg.DeviceGroups; g++ {
 			esw := tb.network.NewSwitchInDomain(fmt.Sprintf("edge%02d", g), pl.domainOfGroup(g))
 			corePort, edgePort := tb.sw.NewPort(), esw.NewPort()
-			tb.network.Connect(corePort, edgePort, cfg.TrunkLink)
+			trunk := tb.network.Connect(corePort, edgePort, cfg.TrunkLink)
+			tb.trackLink(trunk, linkEnd{kind: endCore}, linkEnd{kind: endGroup, idx: g})
 			trunkCorePorts = append(trunkCorePorts, corePort)
 			tb.edgeSws = append(tb.edgeSws, esw)
 			if cfg.PrimeARP {
@@ -493,6 +518,7 @@ func New(cfg Config) (*Testbed, error) {
 				}
 				tb.edgeSrvs = append(tb.edgeSrvs, srv)
 				tb.edgeCs = append(tb.edgeCs, srvC)
+				tb.trackLink(srvC.Link(), linkEnd{kind: endGroup, idx: g}, linkEnd{kind: endGroup, idx: g})
 				if cfg.PrimeARP {
 					esw.Learn(srvC.Host().MAC(), srvC.SwitchPort())
 				}
@@ -543,6 +569,11 @@ func New(cfg Config) (*Testbed, error) {
 			return nil, fmt.Errorf("testbed: %w", err)
 		}
 		tb.devs = append(tb.devs, DeviceHandle{Container: devC, Device: dev})
+		accessEnd := linkEnd{kind: endCore}
+		if cfg.DeviceGroups > 1 {
+			accessEnd = linkEnd{kind: endGroup, idx: group}
+		}
+		tb.trackLink(devC.Link(), linkEnd{kind: endDevice, idx: i}, accessEnd)
 		if cfg.PrimeARP {
 			devH := devC.Host()
 			accessSw.Learn(devH.MAC(), devC.SwitchPort())
@@ -594,7 +625,11 @@ func New(cfg Config) (*Testbed, error) {
 		}
 		tb.engine.SetLookahead(la)
 		tb.registerEngineMetrics()
+		if tb.prof != nil {
+			tb.engine.SetProbe(tb.prof)
+		}
 	}
+	tb.prof.EndPhase(prof.PhaseBuild)
 	return tb, nil
 }
 
@@ -682,6 +717,8 @@ func (tb *Testbed) Start() {
 		return
 	}
 	tb.started = true
+	tb.prof.StartPhase(prof.PhaseStart)
+	defer tb.prof.EndPhase(prof.PhaseStart)
 	tb.tserver.Start()
 	tb.idsC.Start()
 	tb.c2C.Start()
@@ -759,6 +796,8 @@ func (tb *Testbed) scheduleChurn(c *container.Container) {
 // or through the PDES engine's epoch loop (with PDESWorkers goroutines)
 // when Domains > 1. Both paths yield byte-identical state.
 func (tb *Testbed) Run(d time.Duration) error {
+	tb.prof.StartPhase(prof.PhaseRun)
+	defer tb.prof.EndPhase(prof.PhaseRun)
 	if tb.engine != nil {
 		return tb.engine.RunFor(sim.FromDuration(d), tb.Workers())
 	}
