@@ -11,6 +11,9 @@
 //	benchperf -pdes -pdes-scale 1000,10000,100000
 //	                                also sweep fleet sizes and report heap bytes
 //	                                per device and devices-per-wall-second
+//	benchperf -mitigation           run the closed-loop mitigation sweep
+//	                                (threshold × cache size × reaction delay),
+//	                                write BENCH_mitigation.json
 package main
 
 import (
@@ -277,6 +280,41 @@ func runPDES(out, workersCSV, scaleCSV string, devices int, dur, scaleDur time.D
 	return nil
 }
 
+// mitigationDoc is the BENCH_mitigation.json document.
+type mitigationDoc struct {
+	GoMaxProcs int                           `json:"gomaxprocs"`
+	GoVersion  string                        `json:"go_version"`
+	Points     []experiments.MitigationPoint `json:"points"`
+}
+
+// runMitigation runs the closed-loop defense sweep; every grid point is
+// cross-checked for byte-identical output across PDES domain counts before
+// its numbers are published.
+func runMitigation(out string, devices int, quick bool) error {
+	cfg := experiments.MitigationSweepConfig{Seed: 42, Devices: devices}
+	if quick {
+		cfg.Thresholds = []int{4}
+		cfg.CacheSizes = []int{256}
+		cfg.ReactionDelays = []time.Duration{0}
+		cfg.DomainSet = []int{1, 2}
+	}
+	points, err := experiments.RunMitigationSweep(cfg)
+	if err != nil {
+		return err
+	}
+	doc := mitigationDoc{GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(), Points: points}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatMitigationSweep(points))
+	fmt.Println("wrote", out)
+	return nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_scheduler.json", "output path for the JSON report")
 	sweep := flag.Bool("sweep", false, "also run the (slow) parallel resilience sweep benchmark")
@@ -287,7 +325,19 @@ func main() {
 	pdesDur := flag.Duration("pdes-duration", 0, "override the -pdes simulated duration (0 = scenario default)")
 	pdesScale := flag.String("pdes-scale", "", "comma-separated device counts for the fleet-size sweep (empty = skip)")
 	pdesScaleDur := flag.Duration("pdes-scale-duration", 0, "simulated duration per scale-sweep run (0 = sweep default)")
+	mitigation := flag.Bool("mitigation", false, "run the closed-loop mitigation sweep instead of the microbenchmarks")
+	mitigationOut := flag.String("mitigation-out", "BENCH_mitigation.json", "output path for the -mitigation JSON report")
+	mitigationDevices := flag.Int("mitigation-devices", 0, "override the -mitigation fleet size (0 = sweep default)")
+	mitigationQuick := flag.Bool("mitigation-quick", false, "shrink -mitigation to a single grid point (CI smoke)")
 	flag.Parse()
+
+	if *mitigation {
+		if err := runMitigation(*mitigationOut, *mitigationDevices, *mitigationQuick); err != nil {
+			fmt.Fprintln(os.Stderr, "benchperf:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *pdes {
 		if err := runPDES(*pdesOut, *pdesWorkers, *pdesScale, *pdesDevices, *pdesDur, *pdesScaleDur); err != nil {

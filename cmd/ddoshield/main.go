@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"ddoshield/internal/faults"
+	"ddoshield/internal/ids"
+	"ddoshield/internal/mitigation"
 	"ddoshield/internal/pcap"
 	"ddoshield/internal/scenario"
 	"ddoshield/internal/telemetry"
@@ -56,6 +58,10 @@ func run() error {
 		traceOut    = flag.String("trace-out", "", "write the flight recorder as chrome://tracing JSON here")
 		listen      = flag.String("listen", "", "serve live /metrics, /metrics.json and /trace on this address (e.g. :9090)")
 
+		idsFlag       = flag.Bool("ids", false, "attach an inline threshold-rule IDS unit at the TServer uplink (detection latency is printed at end of run)")
+		mitigate      = flag.Bool("mitigate", false, "close the detection loop: install the verdict-cache firewall at the TServer ingress, fed by IDS alerts (requires -ids)")
+		mitigationOut = flag.String("mitigation-out", "", "write the final mitigation scoreboard JSON here (requires -mitigate)")
+
 		traceSample = flag.Float64("trace-sample", 0, "causal-tracing flow sample rate in [0,1] (0 disables; 1 traces every flow)")
 		spanOut     = flag.String("span-out", "", "write finished causal-trace spans here as JSONL (analyze with tracetool)")
 		summaryOut  = flag.String("summary-out", "", "write the end-of-run testbed summary here (byte-stable for a given seed, for determinism diffing)")
@@ -65,6 +71,12 @@ func run() error {
 	flag.Parse()
 	if *pprofFlag && *listen == "" {
 		return fmt.Errorf("-pprof requires -listen")
+	}
+	if *mitigate && !*idsFlag {
+		return fmt.Errorf("-mitigate requires -ids (the firewall is driven by IDS window alerts)")
+	}
+	if *mitigationOut != "" && !*mitigate {
+		return fmt.Errorf("-mitigation-out requires -mitigate")
 	}
 
 	var (
@@ -123,6 +135,25 @@ func run() error {
 
 	ts := tb.NewThroughputSampler(time.Second)
 
+	// The detection loop: an inline threshold-rule unit at the observation
+	// tap, optionally closed by the verdict-cache firewall at the ingress.
+	var (
+		unit *ids.Unit
+		fw   *mitigation.Firewall
+	)
+	if *idsFlag {
+		unit = ids.New(ids.Config{
+			Model:    ids.NewThresholdRule(),
+			Window:   *window,
+			Labeler:  tb.Labeler(),
+			Registry: tb.Registry(),
+		})
+		tb.AttachIDS(unit)
+		if *mitigate {
+			fw = tb.AttachMitigation(unit, testbed.MitigationConfig{})
+		}
+	}
+
 	// Live observability endpoint: the sim thread refreshes rendered
 	// snapshots once per simulated second; HTTP handlers only ever serve
 	// those cached bytes, so no handler touches simulation state.
@@ -131,6 +162,11 @@ func run() error {
 		live = telemetry.NewLiveServerOptions(telemetry.LiveServerOptions{EnablePprof: *pprofFlag})
 		tb.Scheduler().Every(time.Second, func() {
 			live.Update(tb.Scheduler().Now(), tb.Registry(), tb.Recorder())
+			if fw != nil {
+				if data, err := tb.MitigationScoreboard().JSON(); err == nil {
+					live.UpdateMitigation(data)
+				}
+			}
 		})
 		// The profile walks the whole topology, so refresh it at a coarser
 		// cadence than the per-second metrics tick.
@@ -149,6 +185,9 @@ func run() error {
 		endpoints := "/metrics, /metrics.json, /trace, /profile.json"
 		if *pprofFlag {
 			endpoints += ", /debug/pprof/"
+		}
+		if fw != nil {
+			endpoints += ", /mitigation.json"
 		}
 		fmt.Printf("telemetry: serving %s on %s\n", endpoints, *listen)
 	}
@@ -195,6 +234,25 @@ func run() error {
 	probes, connects, cracked, infections := tb.Attacker().Stats()
 	fmt.Printf("attacker: %d probes, %d connects, %d cracked, %d infections\n",
 		probes, connects, cracked, infections)
+	if unit != nil {
+		// Flush the trailing partial window so the last alerts are scored.
+		unit.Flush()
+		det, ttm := "n/a", "n/a"
+		if d, ok := tb.DetectionLatency(unit); ok {
+			det = d.Round(time.Millisecond).String()
+		}
+		if fw != nil {
+			if d, ok := tb.TimeToMitigate(fw); ok {
+				ttm = d.Round(time.Millisecond).String()
+			}
+			fmt.Printf("defense: detection latency %s, time-to-mitigate %s\n", det, ttm)
+			evaluated, dropped := fw.Stats()
+			fmt.Printf("mitigation: %d frames evaluated, %d dropped (%d attack, %d collateral), %d attack frames passed\n",
+				evaluated, dropped, fw.AttackDrops(), fw.CollateralDrops(), fw.AttackPassed())
+		} else {
+			fmt.Printf("defense: detection latency %s\n", det)
+		}
+	}
 	httpReqs, _ := tb.HTTPServer().Stats()
 	streams, _ := tb.VideoServer().Stats()
 	_, transfers, _, _ := tb.FTPServer().Stats()
@@ -247,6 +305,18 @@ func run() error {
 		return err
 	}); err != nil {
 		return err
+	}
+	if fw != nil {
+		if err := writeSnapshot(*mitigationOut, "mitigation scoreboard", func(w *os.File) error {
+			data, err := tb.MitigationScoreboard().JSON()
+			if err != nil {
+				return err
+			}
+			_, err = w.Write(data)
+			return err
+		}); err != nil {
+			return err
+		}
 	}
 	if *spanOut != "" {
 		if tb.Tracer() == nil {

@@ -7,6 +7,7 @@
 //
 //	tracetool -in spans.jsonl
 //	tracetool -in spans.jsonl -top 10
+//	tracetool -in spans.jsonl -mitigated
 //	tracetool -in spans.jsonl -trace 17
 //	tracetool -in spans.jsonl -chrome spans-chrome.json
 package main
@@ -28,10 +29,11 @@ func main() {
 
 func run() error {
 	var (
-		in      = flag.String("in", "", "span JSONL file from ddoshield -span-out (required)")
-		top     = flag.Int("top", 0, "also list the N slowest flows")
-		traceID = flag.Uint64("trace", 0, "print the critical path of this trace ID")
-		chrome  = flag.String("chrome", "", "write a chrome://tracing export of all spans here")
+		in        = flag.String("in", "", "span JSONL file from ddoshield -span-out (required)")
+		top       = flag.Int("top", 0, "also list the N slowest flows")
+		mitigated = flag.Bool("mitigated", false, "list only the flows cut by the mitigation verdict cache (drop cause \"mitigated\")")
+		traceID   = flag.Uint64("trace", 0, "print the critical path of this trace ID")
+		chrome    = flag.String("chrome", "", "write a chrome://tracing export of all spans here")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -72,16 +74,18 @@ func run() error {
 
 	if *top > 0 {
 		fmt.Printf("\nTop %d slowest flows:\n", *top)
-		fmt.Println("trace  kind     latency      spans  drop            flow")
-		for _, s := range trace.TopSlowest(sums, *top) {
-			drop := "-"
-			if !s.Delivered() {
-				drop = s.Drop.String()
+		printFlows(trace.TopSlowest(sums, *top))
+	}
+
+	if *mitigated {
+		var hit []trace.TraceSummary
+		for _, s := range sums {
+			if s.Drop == trace.DropMitigated {
+				hit = append(hit, s)
 			}
-			fmt.Printf("%5d  %-7s  %10s  %5d  %-14s  %s (%s)\n",
-				uint64(s.Trace), s.Kind, s.Latency(), s.Spans, drop,
-				trace.FlowString(s.Flow), s.Origin)
 		}
+		fmt.Printf("\n%d of %d dropped flows were cut by mitigation:\n", len(hit), dropped)
+		printFlows(hit)
 	}
 
 	if *traceID != 0 {
@@ -119,4 +123,19 @@ func run() error {
 		fmt.Printf("\nchrome://tracing export written to %s\n", *chrome)
 	}
 	return nil
+}
+
+// printFlows renders one trace-summary table row per flow (shared by -top
+// and -mitigated).
+func printFlows(sums []trace.TraceSummary) {
+	fmt.Println("trace  kind     latency      spans  drop            flow")
+	for _, s := range sums {
+		drop := "-"
+		if !s.Delivered() {
+			drop = s.Drop.String()
+		}
+		fmt.Printf("%5d  %-7s  %10s  %5d  %-14s  %s (%s)\n",
+			uint64(s.Trace), s.Kind, s.Latency(), s.Spans, drop,
+			trace.FlowString(s.Flow), s.Origin)
+	}
 }

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"ddoshield/internal/ids"
+	"ddoshield/internal/mitigation"
+	"ddoshield/internal/report"
+	"ddoshield/internal/telemetry"
+	"ddoshield/internal/testbed"
+)
+
+// MitigationSweepConfig parameterizes the closed-loop defense sweep: a
+// grid over responder aggregation threshold × verdict-cache size ×
+// reaction delay, each point measuring the three numbers that grade a
+// mitigation deployment — time-to-mitigate, collateral damage and
+// residual attack throughput. Every point runs under each Domains value
+// in DomainSet and must produce byte-identical Summary and Prometheus
+// output, so the reported numbers are only ever published for runs the
+// determinism machinery has vouched for.
+type MitigationSweepConfig struct {
+	Seed int64
+	// Thresholds sweeps the responder's /24 aggregation threshold
+	// (default {4, 64}: aggressive prefix blocking vs per-address rules).
+	Thresholds []int
+	// CacheSizes sweeps the verdict-cache capacity (default {128, 1024}).
+	CacheSizes []int
+	// ReactionDelays sweeps the alert→install control-plane lag
+	// (default {0, 2 s}).
+	ReactionDelays []time.Duration
+	// Devices is the fleet size (default 10).
+	Devices int
+	// Warmup is the benign+infection lead before the flood (default 25 s).
+	Warmup time.Duration
+	// Flood is the attack-wave duration (default 20 s; the run ends 5 s
+	// after the flood so rule expiry and recovery are visible).
+	Flood time.Duration
+	// PPS is the per-bot flood rate (default 200).
+	PPS int
+	// Window is the IDS aggregation window (default 1 s).
+	Window time.Duration
+	// DomainSet is the Domains values every point is cross-checked under
+	// (default {1, 2, min(NumCPU, 4)}).
+	DomainSet []int
+}
+
+func (c MitigationSweepConfig) withDefaults() MitigationSweepConfig {
+	if len(c.Thresholds) == 0 {
+		c.Thresholds = []int{4, 64}
+	}
+	if len(c.CacheSizes) == 0 {
+		c.CacheSizes = []int{128, 1024}
+	}
+	if len(c.ReactionDelays) == 0 {
+		c.ReactionDelays = []time.Duration{0, 2 * time.Second}
+	}
+	if c.Devices <= 0 {
+		c.Devices = 10
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 25 * time.Second
+	}
+	if c.Flood <= 0 {
+		c.Flood = 20 * time.Second
+	}
+	if c.PPS <= 0 {
+		c.PPS = 200
+	}
+	if c.Window <= 0 {
+		c.Window = time.Second
+	}
+	if len(c.DomainSet) == 0 {
+		cpu := runtime.NumCPU()
+		if cpu > 4 {
+			cpu = 4
+		}
+		if cpu < 2 {
+			cpu = 2
+		}
+		c.DomainSet = []int{1, 2, cpu}
+	}
+	return c
+}
+
+// MitigationPoint is one grid point's measurements.
+type MitigationPoint struct {
+	Threshold       int     `json:"aggregate_threshold"`
+	CacheSize       int     `json:"cache_size"`
+	ReactionDelayMS float64 `json:"reaction_delay_ms"`
+	// DetectionLatencyS and TimeToMitigateS are -1 when the anchor never
+	// happened (e.g. the flood was never detected).
+	DetectionLatencyS float64 `json:"detection_latency_s"`
+	TimeToMitigateS   float64 `json:"time_to_mitigate_s"`
+	// CollateralDrops counts benign frames wrongly dropped; AttackDrops
+	// counts attack frames the defense cut; AttackPassed is the residual
+	// that still reached the stack.
+	CollateralDrops uint64 `json:"collateral_drops"`
+	AttackDrops     uint64 `json:"attack_drops"`
+	AttackPassed    uint64 `json:"attack_passed"`
+	// ResidualAttackPPS is AttackPassed amortized over the flood window.
+	ResidualAttackPPS float64 `json:"residual_attack_pps"`
+	Evaluated         uint64  `json:"frames_evaluated"`
+	Dropped           uint64  `json:"frames_dropped"`
+	CacheInserts      uint64  `json:"cache_inserts"`
+	CacheEvictions    uint64  `json:"cache_evictions"`
+}
+
+// runMitigationPoint runs one grid point under one Domains setting and
+// returns the point plus the byte-identity artifacts.
+func (c MitigationSweepConfig) runMitigationPoint(threshold, cacheSize int, delay time.Duration, domains int) (MitigationPoint, string, string, error) {
+	pt := MitigationPoint{
+		Threshold:         threshold,
+		CacheSize:         cacheSize,
+		ReactionDelayMS:   float64(delay) / float64(time.Millisecond),
+		DetectionLatencyS: -1,
+		TimeToMitigateS:   -1,
+	}
+	// The topology (4 device groups) is identical for every DomainSet
+	// member — Domains only changes how the same simulation executes.
+	tb, err := testbed.New(testbed.Config{
+		Seed:         c.Seed,
+		NumDevices:   c.Devices,
+		DeviceGroups: 4,
+		Domains:      domains,
+	})
+	if err != nil {
+		return pt, "", "", err
+	}
+	// The unit registers no metrics of its own: ids_window_cpu_us is a
+	// wall-clock histogram, and this sweep byte-diffs Prometheus output
+	// across Domains. Everything mitigation exports is simulated-time.
+	unit := ids.New(ids.Config{
+		Model:   ids.NewThresholdRule(),
+		Window:  c.Window,
+		Labeler: tb.Labeler(),
+	})
+	tb.AttachIDS(unit)
+	fw := tb.AttachMitigation(unit, testbed.MitigationConfig{
+		CacheSize: cacheSize,
+		Responder: mitigation.ResponderConfig{
+			AggregateThreshold: threshold,
+			ReactionDelay:      delay,
+		},
+	})
+	tb.Start()
+	tb.ScheduleAttackWave(c.Warmup, 0, tb.DefaultAttackWave(c.Flood/3, c.PPS))
+	if err := tb.Run(c.Warmup + c.Flood + 5*time.Second); err != nil {
+		return pt, "", "", err
+	}
+	unit.Flush()
+	if d, ok := tb.DetectionLatency(unit); ok {
+		pt.DetectionLatencyS = d.Seconds()
+	}
+	if d, ok := tb.TimeToMitigate(fw); ok {
+		pt.TimeToMitigateS = d.Seconds()
+	}
+	pt.CollateralDrops = fw.CollateralDrops()
+	pt.AttackDrops = fw.AttackDrops()
+	pt.AttackPassed = fw.AttackPassed()
+	pt.ResidualAttackPPS = float64(pt.AttackPassed) / c.Flood.Seconds()
+	pt.Evaluated, pt.Dropped = fw.Stats()
+	cs := fw.CacheStats()
+	pt.CacheInserts, pt.CacheEvictions = cs.Inserts, cs.Evictions
+	var b strings.Builder
+	if err := telemetry.WritePrometheus(&b, tb.Registry()); err != nil {
+		return pt, "", "", err
+	}
+	return pt, tb.Summary(), b.String(), nil
+}
+
+// RunMitigationSweep runs the full grid. Each point executes under every
+// Domains in DomainSet; a Summary or Prometheus divergence aborts the
+// sweep, so published numbers always come from verified-deterministic
+// runs.
+func RunMitigationSweep(cfg MitigationSweepConfig) ([]MitigationPoint, error) {
+	cfg = cfg.withDefaults()
+	var out []MitigationPoint
+	for _, threshold := range cfg.Thresholds {
+		for _, cacheSize := range cfg.CacheSizes {
+			for _, delay := range cfg.ReactionDelays {
+				var (
+					point                MitigationPoint
+					wantSummary, wantPro string
+				)
+				for i, domains := range cfg.DomainSet {
+					pt, summary, prom, err := cfg.runMitigationPoint(threshold, cacheSize, delay, domains)
+					if err != nil {
+						return nil, err
+					}
+					if i == 0 {
+						point, wantSummary, wantPro = pt, summary, prom
+						continue
+					}
+					if summary != wantSummary {
+						return nil, fmt.Errorf("experiments: mitigation point (t=%d cache=%d delay=%s): Domains=%d Summary diverged\n--- want ---\n%s--- got ---\n%s",
+							threshold, cacheSize, delay, domains, wantSummary, summary)
+					}
+					if prom != wantPro {
+						return nil, fmt.Errorf("experiments: mitigation point (t=%d cache=%d delay=%s): Domains=%d Prometheus snapshot diverged",
+							threshold, cacheSize, delay, domains)
+					}
+				}
+				out = append(out, point)
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatMitigationSweep renders the sweep as a benchtable.
+func FormatMitigationSweep(points []MitigationPoint) string {
+	headers := []string{"Thresh", "Cache", "Delay (ms)", "Detect (s)", "TTM (s)", "Collateral", "Attack drops", "Residual (pps)", "Evictions"}
+	var rows [][]string
+	lat := func(v float64) string {
+		if v < 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.3f", v)
+	}
+	for _, pt := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", pt.Threshold),
+			fmt.Sprintf("%d", pt.CacheSize),
+			fmt.Sprintf("%.0f", pt.ReactionDelayMS),
+			lat(pt.DetectionLatencyS),
+			lat(pt.TimeToMitigateS),
+			fmt.Sprintf("%d", pt.CollateralDrops),
+			fmt.Sprintf("%d", pt.AttackDrops),
+			fmt.Sprintf("%.1f", pt.ResidualAttackPPS),
+			fmt.Sprintf("%d", pt.CacheEvictions),
+		})
+	}
+	return report.Table(headers, rows)
+}

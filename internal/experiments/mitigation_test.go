@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMitigationSweepSmoke runs a single grid point under Domains {1, 2}
+// and checks the closed loop actually closed: the flood was detected,
+// mitigation engaged after detection, and attack traffic was dropped.
+func TestMitigationSweepSmoke(t *testing.T) {
+	pts, err := RunMitigationSweep(MitigationSweepConfig{
+		Seed:           42,
+		Thresholds:     []int{4},
+		CacheSizes:     []int{256},
+		ReactionDelays: []time.Duration{0},
+		DomainSet:      []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("points = %d, want 1", len(pts))
+	}
+	pt := pts[0]
+	if pt.DetectionLatencyS < 0 {
+		t.Fatal("flood was never detected")
+	}
+	if pt.TimeToMitigateS < pt.DetectionLatencyS {
+		t.Fatalf("time-to-mitigate %.3fs precedes detection latency %.3fs",
+			pt.TimeToMitigateS, pt.DetectionLatencyS)
+	}
+	if pt.AttackDrops == 0 {
+		t.Fatal("no attack frames dropped")
+	}
+	if pt.Evaluated == 0 || pt.Dropped == 0 {
+		t.Fatalf("firewall counters empty: evaluated=%d dropped=%d", pt.Evaluated, pt.Dropped)
+	}
+	if pt.CacheInserts == 0 {
+		t.Fatal("verdict cache never populated")
+	}
+	if s := FormatMitigationSweep(pts); s == "" {
+		t.Fatal("empty benchtable")
+	}
+}

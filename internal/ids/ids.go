@@ -79,6 +79,10 @@ type WindowResult struct {
 	// FlaggedSrcs are the distinct source addresses of packets the model
 	// classified malicious in this window (response actions target them).
 	FlaggedSrcs []packet.Addr
+	// FlaggedFlows are the distinct 5-tuples of packets the model
+	// classified malicious, capped at maxFlaggedFlows — the per-flow
+	// verdicts an inline mitigation stage installs.
+	FlaggedFlows []trace.Flow
 	// CPU is the compute time spent processing this window.
 	CPU time.Duration
 }
@@ -89,6 +93,10 @@ type Unit struct {
 	extractor *features.Extractor
 	results   []WindowResult
 	confusion metrics.Confusion
+	// hooks are additional OnWindow consumers registered after New (the
+	// testbed attaches mitigation responders here); they run after
+	// cfg.OnWindow, in registration order.
+	hooks []func(r *WindowResult)
 
 	cpu      time.Duration
 	peakMem  int64
@@ -112,6 +120,11 @@ type Unit struct {
 // their traces at delivery.
 const maxPendingSpans = 4096
 
+// maxFlaggedFlows caps the distinct 5-tuples reported per window: a
+// spoofed flood forges a fresh tuple per packet, and the responder's
+// per-flow verdicts are pointless past its own install cap anyway.
+const maxFlaggedFlows = 512
+
 // windowCPUBounds buckets per-window processing cost in microseconds.
 var windowCPUBounds = []float64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
 
@@ -132,6 +145,14 @@ func New(cfg Config) *Unit {
 
 // Name reports the unit's telemetry label.
 func (u *Unit) Name() string { return u.cfg.Name }
+
+// AddWindowHook registers an additional per-window consumer on an already
+// constructed unit (Config.OnWindow still runs first). Response stages
+// attach here so one unit can feed detection metrics and mitigation at
+// the same time.
+func (u *Unit) AddWindowHook(fn func(r *WindowResult)) {
+	u.hooks = append(u.hooks, fn)
+}
 
 // Tap returns a netsim.Tap that feeds the unit — attach it to the switch
 // (span port) or to the TServer's link, as Fig. 1 places the IDS.
@@ -217,6 +238,7 @@ func (u *Unit) onWindow(w *features.Window) {
 		u.peakMem = mem
 	}
 	var flagged map[packet.Addr]bool
+	var flaggedFlows map[trace.Flow]bool
 	for i := range w.Packets {
 		b := &w.Packets[i]
 		u.packets++
@@ -243,6 +265,20 @@ func (u *Unit) onWindow(w *features.Window) {
 			if !flagged[b.Src] {
 				flagged[b.Src] = true
 				res.FlaggedSrcs = append(res.FlaggedSrcs, b.Src)
+			}
+			if len(res.FlaggedFlows) < maxFlaggedFlows {
+				f := trace.Flow{
+					Src: b.Src.Uint32(), Dst: b.Dst.Uint32(),
+					SrcPort: b.SrcPort, DstPort: b.DstPort,
+					Proto: b.Proto,
+				}
+				if flaggedFlows == nil {
+					flaggedFlows = make(map[trace.Flow]bool)
+				}
+				if !flaggedFlows[f] {
+					flaggedFlows[f] = true
+					res.FlaggedFlows = append(res.FlaggedFlows, f)
+				}
 			}
 		}
 		if truth >= 0 {
@@ -277,8 +313,12 @@ func (u *Unit) onWindow(w *features.Window) {
 	}
 	u.cfg.Recorder.Emit(w.Start, telemetry.CatIDS, verdict, u.cfg.Name, int64(res.PredMalicious))
 	u.results = append(u.results, res)
+	last := &u.results[len(u.results)-1]
 	if u.cfg.OnWindow != nil {
-		u.cfg.OnWindow(&u.results[len(u.results)-1])
+		u.cfg.OnWindow(last)
+	}
+	for _, hook := range u.hooks {
+		hook(last)
 	}
 }
 

@@ -1,0 +1,247 @@
+package mitigation
+
+import (
+	"testing"
+	"time"
+
+	"ddoshield/internal/ids"
+	"ddoshield/internal/packet"
+	"ddoshield/internal/sim"
+	"ddoshield/internal/telemetry"
+	"ddoshield/internal/telemetry/trace"
+)
+
+// testHist returns a standalone age histogram (a nil registry hands out
+// functional unregistered instances).
+func testHist() *telemetry.Histogram {
+	return (*telemetry.Registry)(nil).NewHistogram("age", cacheAgeBounds)
+}
+
+func TestVerdictCacheHitExpireAndRevInvalidation(t *testing.T) {
+	vc := newVerdictCache(64, testHist())
+	k := flowKey{src: 1, dst: 2, ports: 3, proto: packet.ProtoUDP}
+	vc.insert(k, VerdictDrop, 0, 1, 0, 100*sim.Millisecond)
+	e := vc.lookup(k, 50*sim.Millisecond, 1)
+	if e == nil || e.verdict != VerdictDrop {
+		t.Fatal("live entry missed")
+	}
+	if vc.hits.Value() != 1 {
+		t.Fatalf("hits = %d", vc.hits.Value())
+	}
+	// A rule change bumps the revision: the memoized verdict must die even
+	// though its expiry is still in the future.
+	if e := vc.lookup(k, 60*sim.Millisecond, 2); e != nil {
+		t.Fatal("stale-revision entry returned")
+	}
+	if vc.expirations.Value() != 1 {
+		t.Fatalf("expirations after rev bump = %d", vc.expirations.Value())
+	}
+	// Reinsert under the new revision, then age it out by time.
+	vc.insert(k, VerdictAllow, 0, 2, 60*sim.Millisecond, 200*sim.Millisecond)
+	if e := vc.lookup(k, 200*sim.Millisecond, 2); e != nil {
+		t.Fatal("expired entry returned")
+	}
+	if vc.expirations.Value() != 2 {
+		t.Fatalf("expirations after TTL = %d", vc.expirations.Value())
+	}
+}
+
+func TestVerdictCacheEvictsEarliestExpiring(t *testing.T) {
+	// A probeWindow-sized table: every probe covers the whole table, so
+	// eight distinct keys fill it completely.
+	vc := newVerdictCache(probeWindow, testHist())
+	for i := 0; i < probeWindow; i++ {
+		vc.insert(flowKey{src: uint32(i + 1)}, VerdictAllow, 0, 1, 0, sim.Time(i+1)*sim.Second)
+	}
+	if vc.evictions.Value() != 0 {
+		t.Fatalf("evictions while table had room = %d", vc.evictions.Value())
+	}
+	// The ninth insert must deterministically evict the earliest-expiring
+	// entry (src=1, expiry 1 s), never an arbitrary one.
+	vc.insert(flowKey{src: 99}, VerdictDrop, 0, 1, 0, 10*sim.Second)
+	if vc.evictions.Value() != 1 {
+		t.Fatalf("evictions = %d", vc.evictions.Value())
+	}
+	if e := vc.lookup(flowKey{src: 1}, 0, 1); e != nil {
+		t.Fatal("earliest-expiring entry survived the eviction")
+	}
+	if e := vc.lookup(flowKey{src: 99}, 0, 1); e == nil || e.verdict != VerdictDrop {
+		t.Fatal("newly inserted entry missing")
+	}
+}
+
+func TestVerdictCacheSweepAndSize(t *testing.T) {
+	vc := newVerdictCache(64, testHist())
+	vc.insert(flowKey{src: 1}, VerdictDrop, 0, 1, 0, sim.Second)
+	vc.insert(flowKey{src: 2}, VerdictDrop, 0, 1, 0, 3*sim.Second)
+	if n := vc.size(0, 1); n != 2 {
+		t.Fatalf("size = %d, want 2", n)
+	}
+	vc.sweep(2*sim.Second, 1)
+	if vc.expirations.Value() != 1 {
+		t.Fatalf("sweep expired %d entries, want 1", vc.expirations.Value())
+	}
+	if n := vc.size(2*sim.Second, 1); n != 1 {
+		t.Fatalf("size after sweep = %d, want 1", n)
+	}
+	// A revision bump makes the survivor stale too.
+	vc.sweep(2*sim.Second, 2)
+	if n := vc.size(2*sim.Second, 2); n != 0 {
+		t.Fatalf("size after rev sweep = %d, want 0", n)
+	}
+}
+
+func TestFirewallRateLimitVerdict(t *testing.T) {
+	s, client, server := pair(t)
+	fw := NewFirewall(s, server.NIC())
+	got := 0
+	if _, err := server.ListenUDP(9, func(packet.Addr, uint16, []byte) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	sock, err := client.ListenUDP(5000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First datagram resolves ARP and lands normally.
+	sock.SendTo(server.Addr(), 9, []byte("x"))
+	s.RunFor(time.Second)
+	if got != 1 {
+		t.Fatalf("pre-rule delivery = %d", got)
+	}
+	flow := trace.Flow{
+		Src: client.Addr().Uint32(), Dst: server.Addr().Uint32(),
+		SrcPort: 5000, DstPort: 9, Proto: packet.ProtoUDP,
+	}
+	fw.InstallFlowVerdicts([]trace.Flow{flow}, VerdictRateLimit, 4, time.Minute)
+	if fw.BlockedFlows() != 1 {
+		t.Fatalf("BlockedFlows = %d", fw.BlockedFlows())
+	}
+	for i := 0; i < 8; i++ {
+		sock.SendTo(server.Addr(), 9, []byte("y"))
+		s.RunFor(100 * time.Millisecond)
+	}
+	// keep=4 passes counts 1 and 5 of the 8 limited frames.
+	if got != 3 {
+		t.Fatalf("delivered %d datagrams, want 3 (1 pre-rule + 2 kept)", got)
+	}
+	if fw.RateLimited() != 6 {
+		t.Fatalf("RateLimited = %d, want 6", fw.RateLimited())
+	}
+}
+
+// TestStatsMatchRegistryCounters pins the shared-counter contract: Stats()
+// and friends are thin adapters over the same telemetry.Counter instances
+// the registry exports, so the two views can never drift.
+func TestStatsMatchRegistryCounters(t *testing.T) {
+	s, client, server := pair(t)
+	reg := telemetry.NewRegistry()
+	fw := NewFirewallConfig(s, server.NIC(), FirewallConfig{Registry: reg, Name: "fw0"})
+	resp := NewResponder(fw, ResponderConfig{Registry: reg, Name: "r0"})
+	if _, err := server.ListenUDP(9, nil); err != nil {
+		t.Fatal(err)
+	}
+	sock, err := client.ListenUDP(5000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock.SendTo(server.Addr(), 9, []byte("1"))
+	s.RunFor(time.Second)
+	resp.HandleWindow(&ids.WindowResult{Alert: true, FlaggedSrcs: []packet.Addr{client.Addr()}})
+	for i := 0; i < 5; i++ {
+		sock.SendTo(server.Addr(), 9, []byte("2"))
+		s.RunFor(100 * time.Millisecond)
+	}
+	sums := map[string]float64{}
+	for _, m := range reg.Snapshot() {
+		sums[m.Name] += m.Value
+	}
+	evaluated, dropped := fw.Stats()
+	if dropped == 0 {
+		t.Fatal("no drops recorded; the adapter comparison would be vacuous")
+	}
+	addr, prefix, flowHits := fw.RuleHits()
+	alerts, addrRules, prefixRules := resp.Stats()
+	for _, tc := range []struct {
+		metric string
+		value  uint64
+	}{
+		{"mitigation_frames_evaluated_total", evaluated},
+		{"mitigation_frames_dropped_total", dropped},
+		{"mitigation_frames_rate_limited_total", fw.RateLimited()},
+		{"mitigation_collateral_drops_total", fw.CollateralDrops()},
+		{"mitigation_attack_drops_total", fw.AttackDrops()},
+		{"mitigation_attack_passed_total", fw.AttackPassed()},
+		{"mitigation_rule_hits_total", addr + prefix + flowHits},
+		{"mitigation_cache_hits_total", fw.CacheStats().Hits},
+		{"mitigation_cache_inserts_total", fw.CacheStats().Inserts},
+		{"mitigation_responder_alerts_total", alerts},
+		{"mitigation_responder_rules_total", addrRules + prefixRules + resp.FlowRules()},
+	} {
+		got, ok := sums[tc.metric]
+		if !ok {
+			t.Fatalf("%s not exported by the registry", tc.metric)
+		}
+		if got != float64(tc.value) {
+			t.Fatalf("%s: registry = %v, adapter = %d", tc.metric, got, tc.value)
+		}
+	}
+}
+
+// TestMitigationIngressAllocFree pins the hot-path contract the CI alloc
+// guard enforces: admitting a frame allocates nothing, on cache hits and
+// on misses that re-evaluate the rule tables alike.
+func TestMitigationIngressAllocFree(t *testing.T) {
+	s, client, server := pair(t)
+	fw := NewFirewall(s, server.NIC())
+	fw.BlockAddr(client.Addr(), time.Hour)
+	raw := packet.BuildTCP(client.MAC(), server.MAC(),
+		packet.IPv4{TTL: 64, Src: client.Addr(), Dst: server.Addr()},
+		packet.TCP{SrcPort: 4000, DstPort: 80, Flags: packet.FlagSYN, Window: 512},
+		nil)
+	var tc trace.Context
+	fw.admit(raw, tc) // warm: memoize the drop verdict
+	if a := testing.AllocsPerRun(200, func() { fw.admit(raw, tc) }); a != 0 {
+		t.Fatalf("cache-hit admit: %v allocs/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		fw.bumpRev() // invalidate: force the miss + rule-evaluation path
+		fw.admit(raw, tc)
+	}); a != 0 {
+		t.Fatalf("cache-miss admit: %v allocs/op, want 0", a)
+	}
+}
+
+func TestResponderReactionDelay(t *testing.T) {
+	s, client, server := pair(t)
+	fw := NewFirewall(s, server.NIC())
+	resp := NewResponder(fw, ResponderConfig{ReactionDelay: 2 * time.Second})
+	resp.HandleWindow(&ids.WindowResult{Alert: true, FlaggedSrcs: []packet.Addr{client.Addr()}})
+	if fw.BlockedAddrs() != 0 {
+		t.Fatal("rules installed before the reaction delay elapsed")
+	}
+	s.RunFor(time.Second)
+	if fw.BlockedAddrs() != 0 {
+		t.Fatal("rules installed mid-delay")
+	}
+	s.RunFor(2 * time.Second)
+	if fw.BlockedAddrs() != 1 {
+		t.Fatalf("BlockedAddrs after delay = %d, want 1", fw.BlockedAddrs())
+	}
+}
+
+func TestResponderFlowRulesSkipProtected(t *testing.T) {
+	s, _, server := pair(t)
+	fw := NewFirewall(s, server.NIC())
+	protected := packet.AddrFrom4(10, 0, 9, 9)
+	resp := NewResponder(fw, ResponderConfig{Protected: []packet.Addr{protected}})
+	resp.HandleWindow(&ids.WindowResult{Alert: true, FlaggedFlows: []trace.Flow{
+		{Src: packet.AddrFrom4(10, 0, 200, 1).Uint32(), Dst: server.Addr().Uint32(), SrcPort: 1234, DstPort: 80, Proto: packet.ProtoTCP},
+		{Src: protected.Uint32(), Dst: server.Addr().Uint32(), SrcPort: 1235, DstPort: 80, Proto: packet.ProtoTCP},
+	}})
+	if fw.BlockedFlows() != 1 {
+		t.Fatalf("BlockedFlows = %d, want 1 (protected flow filtered)", fw.BlockedFlows())
+	}
+	if resp.FlowRules() != 1 {
+		t.Fatalf("FlowRules = %d, want 1", resp.FlowRules())
+	}
+}

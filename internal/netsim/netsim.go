@@ -355,6 +355,12 @@ type NIC struct {
 	// ingress, when set, vets every arriving frame before the handler;
 	// returning false drops it (the firewall hook).
 	ingress func(raw []byte) bool
+	// ingressCtx, when set, wins over ingress and also receives the frame's
+	// trace context: a filter that terminates sampled chains itself (the
+	// inline mitigation stage records its own "mitigation" hop and drop
+	// cause) attaches here. On a false return the NIC still counts and
+	// emits the drop but records no span of its own.
+	ingressCtx func(raw []byte, tc trace.Context) bool
 
 	// Shared telemetry counters: the registry exports these same
 	// instances, and Stats()/IngressDropped() are thin value adapters, so
@@ -416,7 +422,13 @@ func (c *NIC) Stats() (rxFrames, rxBytes, txFrames, txBytes uint64) {
 }
 
 func (c *NIC) receive(raw []byte, tc trace.Context) {
-	if c.ingress != nil && !c.ingress(raw) {
+	if c.ingressCtx != nil {
+		if !c.ingressCtx(raw, tc) {
+			c.ingressDropped.Inc()
+			c.node.net.emit(c.node.sched.Now(), telemetry.CatNet, "ingress-drop", c.name, int64(len(raw)))
+			return
+		}
+	} else if c.ingress != nil && !c.ingress(raw) {
 		c.ingressDropped.Inc()
 		now := c.node.sched.Now()
 		c.node.net.emit(now, telemetry.CatNet, "ingress-drop", c.name, int64(len(raw)))
@@ -446,6 +458,12 @@ func (c *NIC) receive(raw []byte, tc trace.Context) {
 // before the receive handler; returning false drops the frame. A firewall
 // in front of the host attaches here.
 func (c *NIC) SetIngressFilter(fn func(raw []byte) bool) { c.ingress = fn }
+
+// SetIngressFilterCtx installs (or clears, with nil) a trace-context-aware
+// ingress filter; it takes precedence over SetIngressFilter. The filter
+// owns the causal-tracing side of a drop: it must terminate sampled chains
+// itself (with its own hop span and drop cause) when it returns false.
+func (c *NIC) SetIngressFilterCtx(fn func(raw []byte, tc trace.Context) bool) { c.ingressCtx = fn }
 
 // IngressDropped reports frames discarded by the ingress filter.
 func (c *NIC) IngressDropped() uint64 { return c.ingressDropped.Value() }

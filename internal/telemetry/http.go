@@ -21,13 +21,14 @@ import (
 // buffers, and handlers serve the latest snapshot under a read lock.
 // This keeps live export race-free without slowing the hot path.
 type LiveServer struct {
-	opts    LiveServerOptions
-	mu      sync.RWMutex
-	prom    []byte
-	json    []byte
-	trace   []byte
-	profile []byte
-	updates uint64
+	opts       LiveServerOptions
+	mu         sync.RWMutex
+	prom       []byte
+	json       []byte
+	trace      []byte
+	profile    []byte
+	mitigation []byte
+	updates    uint64
 }
 
 // LiveServerOptions tunes the optional endpoints.
@@ -71,6 +72,15 @@ func (s *LiveServer) UpdateProfile(data []byte) {
 	s.mu.Unlock()
 }
 
+// UpdateMitigation publishes the latest defense scoreboard document
+// (served at /mitigation.json). Like UpdateProfile it is republished from
+// the simulation thread on its own sim-time cadence.
+func (s *LiveServer) UpdateMitigation(data []byte) {
+	s.mu.Lock()
+	s.mitigation = data
+	s.mu.Unlock()
+}
+
 // Updates reports how many snapshots have been published.
 func (s *LiveServer) Updates() uint64 {
 	s.mu.RLock()
@@ -104,6 +114,9 @@ func (s *LiveServer) Handler() http.Handler {
 	})
 	mux.HandleFunc("/profile.json", func(w http.ResponseWriter, _ *http.Request) {
 		s.serve(w, "application/json", func() []byte { return s.profile })
+	})
+	mux.HandleFunc("/mitigation.json", func(w http.ResponseWriter, _ *http.Request) {
+		s.serve(w, "application/json", func() []byte { return s.mitigation })
 	})
 	if s.opts.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

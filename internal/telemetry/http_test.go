@@ -121,6 +121,35 @@ func TestLiveServerProfileEndpoint(t *testing.T) {
 	}
 }
 
+// TestLiveServerMitigationEndpoint checks /mitigation.json serves exactly
+// the bytes published by UpdateMitigation (204 before the first publish),
+// the defense-scoreboard analogue of the profile endpoint.
+func TestLiveServerMitigationEndpoint(t *testing.T) {
+	s := NewLiveServer()
+	h := s.Handler()
+	status, ct, _ := get(t, h, "/mitigation.json")
+	if status != http.StatusNoContent {
+		t.Fatalf("/mitigation.json before publish: status=%d, want 204", status)
+	}
+	if ct != "application/json" {
+		t.Fatalf("/mitigation.json: content-type=%q", ct)
+	}
+	doc := `{"now_s":12,"units":[{"unit":"ids","attack_drops":7}]}`
+	s.UpdateMitigation([]byte(doc))
+	status, ct, body := get(t, h, "/mitigation.json")
+	if status != http.StatusOK || ct != "application/json" {
+		t.Fatalf("/mitigation.json: status=%d content-type=%q", status, ct)
+	}
+	if body != doc {
+		t.Fatalf("/mitigation.json body = %q, want %q", body, doc)
+	}
+	// Republish: handlers must serve the newest board.
+	s.UpdateMitigation([]byte(`{"now_s":13}`))
+	if _, _, body = get(t, h, "/mitigation.json"); body != `{"now_s":13}` {
+		t.Fatalf("stale scoreboard served: %q", body)
+	}
+}
+
 // TestLiveServerPprofOptIn pins the pprof exposure contract: the runtime
 // profiler endpoints exist only when LiveServerOptions.EnablePprof is set;
 // the default handler keeps them 404.

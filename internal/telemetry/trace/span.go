@@ -73,14 +73,15 @@ const (
 	DropSynBacklog              // SYN discarded by listener backlog pressure
 	DropNoRoute                 // unroutable destination or ARP failure
 	DropNoSocket                // no listener/socket on the destination port
+	DropMitigated               // cut by the inline mitigation verdict cache
 
-	numDropCauses = 13
+	numDropCauses = 14
 )
 
 var dropNames = [numDropCauses]string{
 	"", "link-down", "queue-full", "loss", "inflight-cut", "partition",
 	"ingress-filter", "unattached", "malformed", "bad-dst", "syn-backlog",
-	"no-route", "no-socket",
+	"no-route", "no-socket", "mitigated",
 }
 
 // String renders the cause label used in metrics and trace output (empty

@@ -1,0 +1,187 @@
+package testbed
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ddoshield/internal/ids"
+	"ddoshield/internal/netsim"
+	"ddoshield/internal/telemetry"
+	"ddoshield/internal/telemetry/trace"
+)
+
+// pdesMitigatedArtifacts is pdesFaultedArtifacts with the detection loop
+// closed: the full chaos stack (churn, five-kind fault plan, lossy access
+// and trunk links) plus an IDS unit driving the verdict-cache firewall at
+// the TServer ingress. The IDS unit itself registers no metrics —
+// ids_window_cpu_us is wall-clock — so every exported byte derives from
+// simulated time.
+func pdesMitigatedArtifacts(t *testing.T, domains, workers int) (summary, prom, spans string) {
+	t.Helper()
+	tb, err := New(Config{
+		Seed:         42,
+		NumDevices:   12,
+		DeviceGroups: 4,
+		MeanThink:    700 * time.Millisecond,
+		Domains:      domains,
+		PDESWorkers:  workers,
+		Churn: ChurnConfig{
+			Enabled:  true,
+			MeanUp:   8 * time.Second,
+			MeanDown: time.Second,
+		},
+		Faults:            chaosPlan(),
+		Link:              netsim.LinkConfig{LossProb: 0.01},
+		TrunkLink:         netsim.LinkConfig{LossProb: 0.02},
+		TraceSampleRate:   0.2,
+		TraceSpanCapacity: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := ids.New(ids.Config{
+		Model:   ids.NewThresholdRule(),
+		Window:  time.Second,
+		Labeler: tb.Labeler(),
+	})
+	tb.AttachIDS(unit)
+	tb.AttachMitigation(unit, MitigationConfig{})
+	tb.Start()
+	// The wave starts later and floods harder than the plain faulted
+	// campaign: infection needs ~12 s under churn, and the threshold rule
+	// only trips when the flood actually dominates a window.
+	tb.ScheduleAttackWave(12*time.Second, 2*time.Second,
+		tb.DefaultAttackWave(4*time.Second, 600))
+	if err := tb.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	unit.Flush()
+	if tb.Tracer().Evicted() != 0 {
+		t.Fatalf("span ring evicted %d spans; grow TraceSpanCapacity", tb.Tracer().Evicted())
+	}
+	var pb, sb bytes.Buffer
+	if err := telemetry.WritePrometheus(&pb, tb.Registry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteSpans(&sb, trace.CanonicalSpans(tb.Tracer().Spans())); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Summary(), pb.String(), sb.String()
+}
+
+// TestPDESMitigatedCampaignDeterminism is the acceptance test for the
+// closed mitigation loop under the parallel engine: a faulted campaign
+// with inline mitigation active — verdict-cache aging, reaction installs
+// and rule expiry all in play — must produce byte-identical Summary
+// output, Prometheus snapshots and canonical trace spans across
+// Domains ∈ {1, 2, NumCPU}. Run under -race in CI.
+func TestPDESMitigatedCampaignDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mitigated determinism matrix is slow")
+	}
+	wantSummary, wantProm, wantSpans := pdesMitigatedArtifacts(t, 1, 1)
+	if !strings.Contains(wantSummary, "mitigation") {
+		t.Fatalf("mitigated baseline has no mitigation summary lines:\n%s", wantSummary)
+	}
+	if !strings.Contains(wantProm, "mitigation_frames_dropped_total") {
+		t.Fatal("mitigation counters missing from the Prometheus snapshot")
+	}
+	if !strings.Contains(wantSpans, `"mitigated"`) {
+		t.Fatal("no sampled flow was terminated by the mitigation hop")
+	}
+	cpus := runtime.NumCPU()
+	if cpus < 4 {
+		cpus = 4
+	}
+	for _, tc := range []struct{ domains, workers int }{
+		{2, 0},
+		{cpus, 0},
+	} {
+		summary, prom, spans := pdesMitigatedArtifacts(t, tc.domains, tc.workers)
+		if summary != wantSummary {
+			t.Fatalf("domains=%d workers=%d: mitigated Summary diverged\n--- serial ---\n%s--- parallel ---\n%s",
+				tc.domains, tc.workers, wantSummary, summary)
+		}
+		if prom != wantProm {
+			t.Fatalf("domains=%d workers=%d: mitigated Prometheus snapshot diverged (%d vs %d bytes)",
+				tc.domains, tc.workers, len(wantProm), len(prom))
+		}
+		if spans != wantSpans {
+			t.Fatalf("domains=%d workers=%d: mitigated canonical span output diverged (%d vs %d bytes)",
+				tc.domains, tc.workers, len(wantSpans), len(spans))
+		}
+	}
+}
+
+// TestMitigationScoreboard drives a small clean campaign through the
+// closed loop and checks the observable outcomes end to end: detection
+// precedes mitigation, attack traffic is actually dropped, and the
+// scoreboard JSON carries the full accounting.
+func TestMitigationScoreboard(t *testing.T) {
+	tb, err := New(Config{Seed: 42, NumDevices: 8, DeviceGroups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := ids.New(ids.Config{
+		Model:   ids.NewThresholdRule(),
+		Window:  time.Second,
+		Labeler: tb.Labeler(),
+	})
+	tb.AttachIDS(unit)
+	fw := tb.AttachMitigation(unit, MitigationConfig{})
+	tb.Start()
+	tb.ScheduleAttackWave(15*time.Second, 0, tb.DefaultAttackWave(6*time.Second, 300))
+	if err := tb.Run(40 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	unit.Flush()
+
+	det, ok := tb.DetectionLatency(unit)
+	if !ok {
+		t.Fatal("flood never detected")
+	}
+	ttm, ok := tb.TimeToMitigate(fw)
+	if !ok {
+		t.Fatal("mitigation never engaged")
+	}
+	if ttm < det {
+		t.Fatalf("time-to-mitigate %v precedes detection latency %v", ttm, det)
+	}
+	if fw.AttackDrops() == 0 {
+		t.Fatal("no attack frames dropped")
+	}
+	if !strings.Contains(tb.Summary(), "time-to-mitigate=") {
+		t.Fatalf("Summary misses the mitigate line:\n%s", tb.Summary())
+	}
+
+	sb := tb.MitigationScoreboard()
+	if len(sb.Units) != 1 {
+		t.Fatalf("scoreboard units = %d, want 1", len(sb.Units))
+	}
+	u := sb.Units[0]
+	if u.Unit != unit.Name() {
+		t.Fatalf("scoreboard unit = %q", u.Unit)
+	}
+	if u.TimeToMitigateS != ttm.Seconds() || u.DetectionLatencyS != det.Seconds() {
+		t.Fatalf("scoreboard latencies (%v, %v) disagree with accessors (%v, %v)",
+			u.DetectionLatencyS, u.TimeToMitigateS, det.Seconds(), ttm.Seconds())
+	}
+	if u.AttackDrops != fw.AttackDrops() || u.Evaluated == 0 {
+		t.Fatalf("scoreboard accounting diverges: %+v", u)
+	}
+	data, err := sb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MitigationScoreboard
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("scoreboard JSON does not round-trip: %v", err)
+	}
+	if len(back.Units) != 1 || back.Units[0].AttackDrops != u.AttackDrops {
+		t.Fatal("scoreboard JSON lost fields")
+	}
+}

@@ -310,6 +310,9 @@ type Testbed struct {
 	tracer    *trace.Tracer
 
 	idsUnits []*ids.Unit
+	// mitigations are the closed defense loops wired by AttachMitigation;
+	// each contributes mitigation lines to Summary and a scoreboard panel.
+	mitigations []mitigationHandle
 
 	// prof is the wall-clock profiler (nil unless Config.Profile and the
 	// prof build is enabled); profLinks records every link's structural
@@ -925,6 +928,21 @@ func (tb *Testbed) Summary() string {
 			fmt.Fprintf(&b, "detection    unit=%s latency=%s\n", u.Name(), d)
 		} else {
 			fmt.Fprintf(&b, "detection    unit=%s latency=n/a\n", u.Name())
+		}
+	}
+	for _, m := range tb.mitigations {
+		ev, dr := m.fw.Stats()
+		fmt.Fprintf(&b, "mitigation   unit=%s evaluated=%d dropped=%d rate-limited=%d collateral=%d attack-drops=%d attack-passed=%d\n",
+			m.unit.Name(), ev, dr, m.fw.RateLimited(), m.fw.CollateralDrops(),
+			m.fw.AttackDrops(), m.fw.AttackPassed())
+		ha, hp, hf := m.fw.RuleHits()
+		cs := m.fw.CacheStats()
+		fmt.Fprintf(&b, "verdicts     unit=%s rule-hits addr=%d prefix=%d flow=%d cache size=%d inserts=%d evictions=%d expired=%d hits=%d misses=%d\n",
+			m.unit.Name(), ha, hp, hf, cs.Size, cs.Inserts, cs.Evictions, cs.Expired, cs.Hits, cs.Misses)
+		if d, ok := tb.TimeToMitigate(m.fw); ok {
+			fmt.Fprintf(&b, "mitigate     unit=%s time-to-mitigate=%s\n", m.unit.Name(), d)
+		} else {
+			fmt.Fprintf(&b, "mitigate     unit=%s time-to-mitigate=n/a\n", m.unit.Name())
 		}
 	}
 	return b.String()
