@@ -205,7 +205,16 @@ func parseCounts(csv, flagName string) ([]int, error) {
 	return out, nil
 }
 
-func runPDES(out, workersCSV, scaleCSV string, devices int, dur, scaleDur time.Duration) error {
+// buildBaselineNote pins the fixed reference the parallel-construction
+// acceptance compares against: the single-core-switch topology build at
+// 100k devices measured at commit 7abbf0c (eager per-link label
+// rendering, per-direction heap allocation, no staged construction),
+// before core-fabric sharding and staged parallel construction landed.
+const buildBaselineNote = "pre-sharding build reference: 100k-device build+start measured 1354 ms" +
+	" at commit 7abbf0c on this runner class; compare the 100000-device points'" +
+	" build_ms and serial_build_ms against it"
+
+func runPDES(out, workersCSV, scaleCSV, shardsCSV string, devices int, dur, scaleDur time.Duration) error {
 	workers, err := parseCounts(workersCSV, "-pdes-workers")
 	if err != nil {
 		return err
@@ -226,10 +235,15 @@ func runPDES(out, workersCSV, scaleCSV string, devices int, dur, scaleDur time.D
 		if err != nil {
 			return err
 		}
+		shards, err := parseCounts(shardsCSV, "-pdes-core-shards")
+		if err != nil {
+			return err
+		}
 		rep.Scale, err = experiments.RunScaleBench(experiments.ScaleConfig{
-			Seed:     sc.Seed,
-			Counts:   counts,
-			Duration: scaleDur,
+			Seed:       sc.Seed,
+			Counts:     counts,
+			Duration:   scaleDur,
+			CoreShards: shards,
 		})
 		if err != nil {
 			return err
@@ -240,6 +254,12 @@ func runPDES(out, workersCSV, scaleCSV string, devices int, dur, scaleDur time.D
 		doc.Note = fmt.Sprintf("measured with GOMAXPROCS=%d: speedup is bounded by available "+
 			"parallelism, not the engine; regenerate on a >=4-core runner for headline figures "+
 			"(byte-identity of results is verified regardless)", doc.GoMaxProcs)
+	}
+	if len(rep.Scale) > 0 {
+		if doc.Note != "" {
+			doc.Note += "; "
+		}
+		doc.Note += buildBaselineNote
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -260,8 +280,9 @@ func runPDES(out, workersCSV, scaleCSV string, devices int, dur, scaleDur time.D
 		rep.FaultedParallel.Domains, rep.FaultedParallel.Workers,
 		rep.FaultedParallel.WallMS, rep.FaultedParallel.Speedup)
 	for _, pt := range rep.Scale {
-		fmt.Printf("scale devices=%-7d domains=%d %10.1f ms  %8.0f B/device  %12.0f devices/wall-s\n",
-			pt.Devices, pt.Domains, pt.WallMS, pt.HeapBytesPerDevice, pt.DevicesPerWallSecond)
+		fmt.Printf("scale devices=%-7d shards=%d domains=%d %10.1f ms  %8.0f B/device  %12.0f devices/wall-s  build %7.1f ms (serial %7.1f ms) %10.0f devices/build-s\n",
+			pt.Devices, pt.CoreShards, pt.Domains, pt.WallMS, pt.HeapBytesPerDevice,
+			pt.DevicesPerWallSecond, pt.BuildMS, pt.SerialBuildMS, pt.BuildDevicesPerSecond)
 	}
 	// Bottleneck reports go to stderr so stdout stays a clean numbers
 	// stream for scripting.
@@ -273,8 +294,8 @@ func runPDES(out, workersCSV, scaleCSV string, devices int, dur, scaleDur time.D
 		if pt.Profile == nil {
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "\nbottleneck report (scale %d devices, domains=%d):\n%s",
-			pt.Devices, pt.Domains, prof.BuildReport(pt.Profile).String())
+		fmt.Fprintf(os.Stderr, "\nbottleneck report (scale %d devices, shards=%d, domains=%d):\n%s",
+			pt.Devices, pt.CoreShards, pt.Domains, prof.BuildReport(pt.Profile).String())
 	}
 	fmt.Println("wrote", out)
 	return nil
@@ -325,6 +346,7 @@ func main() {
 	pdesDur := flag.Duration("pdes-duration", 0, "override the -pdes simulated duration (0 = scenario default)")
 	pdesScale := flag.String("pdes-scale", "", "comma-separated device counts for the fleet-size sweep (empty = skip)")
 	pdesScaleDur := flag.Duration("pdes-scale-duration", 0, "simulated duration per scale-sweep run (0 = sweep default)")
+	pdesShards := flag.String("pdes-core-shards", "1", "comma-separated core-fabric shard counts for the fleet-size sweep (each is crossed with every -pdes-scale count)")
 	mitigation := flag.Bool("mitigation", false, "run the closed-loop mitigation sweep instead of the microbenchmarks")
 	mitigationOut := flag.String("mitigation-out", "BENCH_mitigation.json", "output path for the -mitigation JSON report")
 	mitigationDevices := flag.Int("mitigation-devices", 0, "override the -mitigation fleet size (0 = sweep default)")
@@ -340,7 +362,7 @@ func main() {
 	}
 
 	if *pdes {
-		if err := runPDES(*pdesOut, *pdesWorkers, *pdesScale, *pdesDevices, *pdesDur, *pdesScaleDur); err != nil {
+		if err := runPDES(*pdesOut, *pdesWorkers, *pdesScale, *pdesShards, *pdesDevices, *pdesDur, *pdesScaleDur); err != nil {
 			fmt.Fprintln(os.Stderr, "benchperf:", err)
 			os.Exit(1)
 		}

@@ -15,10 +15,25 @@ import (
 // TelnetPort is the service the scanner probes and the loader infects over.
 const TelnetPort = 23
 
+// ScanRange is one contiguous extra address block the scanner probes in
+// addition to TargetRange. Fleet-scale extension planes are contiguous but
+// not prefix-aligned, hence a base+count pair rather than a CIDR prefix.
+type ScanRange struct {
+	// Base is the first probed address of the block.
+	Base packet.Addr
+	// Count is how many consecutive addresses the block spans.
+	Count uint32
+}
+
 // AttackerConfig tunes the scan-and-infect pipeline.
 type AttackerConfig struct {
 	// TargetRange is the address space the scanner probes.
 	TargetRange packet.Prefix
+	// ExtraRanges widens the scanner's probe space beyond TargetRange
+	// (the testbed's 10.4.0.0+ extension device plane). Targets are drawn
+	// uniformly over TargetRange plus every extra range; with no extras,
+	// target selection is bit-for-bit the classic single-range draw.
+	ExtraRanges []ScanRange
 	// C2Addr/C2Port are handed to infected devices in the INSTALL command.
 	C2Addr packet.Addr
 	C2Port uint16
@@ -114,13 +129,46 @@ func (a *Attacker) Stats() (probes, connects, cracked, infections uint64) {
 	return a.probes, a.connects, a.cracked, a.infections
 }
 
-// probe picks a random target and attempts the dictionary against it.
+// ScanSpan reports how many distinct addresses the scanner draws targets
+// from: TargetRange's hosts plus every extra range. The classic
+// 10.0.2.0/24 configuration spans exactly 254.
+func (a *Attacker) ScanSpan() int {
+	n := int(a.cfg.TargetRange.NumHosts())
+	if n < 0 {
+		n = 0
+	}
+	for _, r := range a.cfg.ExtraRanges {
+		n += int(r.Count)
+	}
+	return n
+}
+
+// probe picks a random target and attempts the dictionary against it. The
+// draw is one uniform pick over the concatenated ranges, so a single-range
+// attacker consumes its RNG stream exactly as it always has.
 func (a *Attacker) probe() {
 	n := int(a.cfg.TargetRange.NumHosts())
-	if n <= 0 {
+	if n < 0 {
+		n = 0
+	}
+	total := a.ScanSpan()
+	if total <= 0 {
 		return
 	}
-	target := a.cfg.TargetRange.Host(uint32(a.rng.Intn(n)) + 1)
+	k := a.rng.Intn(total)
+	var target packet.Addr
+	if k < n {
+		target = a.cfg.TargetRange.Host(uint32(k) + 1)
+	} else {
+		k -= n
+		for _, r := range a.cfg.ExtraRanges {
+			if k < int(r.Count) {
+				target = packet.AddrFromUint32(r.Base.Uint32() + uint32(k))
+				break
+			}
+			k -= int(r.Count)
+		}
+	}
 	if target == a.host.Addr() || target == a.cfg.C2Addr || a.inflight[target] {
 		return
 	}

@@ -1,0 +1,35 @@
+package botnet
+
+import (
+	"testing"
+
+	"ddoshield/internal/packet"
+)
+
+// TestScanSpanClassicDefault pins the attacker's historical probe space:
+// a /24 target range with no extra ranges spans exactly 254 addresses.
+// The testbed's default plane depends on this staying fixed.
+func TestScanSpanClassicDefault(t *testing.T) {
+	atk := NewAttacker(AttackerConfig{
+		TargetRange: packet.Prefix{Addr: packet.AddrFrom4(10, 0, 2, 0), Bits: 24},
+	})
+	if got := atk.ScanSpan(); got != 254 {
+		t.Fatalf("classic /24 scan span = %d, want 254", got)
+	}
+}
+
+// TestScanSpanExtraRanges checks that extra ranges widen the span
+// additively: the span is the uniform draw's denominator, so it must be
+// the exact concatenated address count.
+func TestScanSpanExtraRanges(t *testing.T) {
+	atk := NewAttacker(AttackerConfig{
+		TargetRange: packet.Prefix{Addr: packet.AddrFrom4(10, 0, 2, 0), Bits: 24},
+		ExtraRanges: []ScanRange{
+			{Base: packet.AddrFrom4(10, 4, 0, 0), Count: 1000},
+			{Base: packet.AddrFrom4(10, 5, 0, 0), Count: 24},
+		},
+	})
+	if got := atk.ScanSpan(); got != 254+1000+24 {
+		t.Fatalf("widened scan span = %d, want %d", got, 254+1000+24)
+	}
+}

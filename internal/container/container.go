@@ -129,6 +129,63 @@ func (r *Runtime) Create(spec Spec, sw *netsim.Switch, link netsim.LinkConfig) (
 	return c, nil
 }
 
+// CreateStaged provisions a container inside a netsim construction stage:
+// node, NIC and link identity come from the stage's reserved ranges, and
+// nothing in the runtime's shared tracking structures is touched, so one
+// goroutine per stage may create containers concurrently. sw must be owned
+// by the stage's builder (an edge switch of the same group). Register the
+// result — in canonical order, after netsim.Network.Merge — with Adopt.
+func (r *Runtime) CreateStaged(st *netsim.Stage, spec Spec, sw *netsim.Switch, link netsim.LinkConfig) *Container {
+	node := st.NewNodeInDomain(spec.Name, spec.Domain)
+	nic := node.AddNIC()
+	port := sw.NewPort()
+	l := st.Connect(nic, port, link)
+	host := netstack.NewHost(nic, spec.Host)
+	return &Container{
+		runtime: r,
+		name:    spec.Name,
+		image:   spec.Image,
+		node:    node,
+		link:    l,
+		port:    port,
+		host:    host,
+		app:     spec.App,
+		state:   StateCreated,
+	}
+}
+
+// Adopt registers staged containers into the runtime's tracking structures
+// in argument order — the canonical creation order a sequential build would
+// have produced. Call after netsim.Network.Merge.
+func (r *Runtime) Adopt(cs ...*Container) error {
+	for _, c := range cs {
+		if _, dup := r.byName[c.name]; dup {
+			return fmt.Errorf("container %q already exists", c.name)
+		}
+		r.containers = append(r.containers, c)
+		r.byName[c.name] = c
+	}
+	return nil
+}
+
+// Grow pre-sizes the runtime's container tracking for a build of known
+// size (negative or zero hints are ignored).
+func (r *Runtime) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if cap(r.containers)-len(r.containers) < n {
+		grown := make([]*Container, len(r.containers), len(r.containers)+n)
+		copy(grown, r.containers)
+		r.containers = grown
+	}
+	bigger := make(map[string]*Container, len(r.byName)+n)
+	for k, v := range r.byName {
+		bigger[k] = v
+	}
+	r.byName = bigger
+}
+
 // Get returns the named container, or nil.
 func (r *Runtime) Get(name string) *Container { return r.byName[name] }
 

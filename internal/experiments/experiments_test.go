@@ -15,7 +15,7 @@ import (
 // train all three models meaningfully.
 func tiny() Scenario {
 	sc := Quick()
-	sc.TrainDuration = 60 * time.Second
+	sc.TrainDuration = 90 * time.Second
 	sc.DetectDuration = 40 * time.Second
 	sc.BenignWarmup = 20 * time.Second
 	sc.InfectionLead = 60 * time.Second

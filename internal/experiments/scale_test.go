@@ -21,7 +21,7 @@ func TestHeapBudget10kDevices(t *testing.T) {
 	groups := scaleGroups(count)
 
 	before := liveHeap()
-	tb, err := cfg.buildScale(count, groups, 2, false)
+	tb, err := cfg.buildScale(count, groups, 1, 2, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,43 +38,84 @@ func TestHeapBudget10kDevices(t *testing.T) {
 	}
 }
 
+// TestBuildBudget10kDevices is the CI topology-build budget: constructing
+// and starting a 10k-device partitioned fleet on a sharded core must stay
+// under a 3 s wall ceiling. The staged parallel construction lands this in
+// ~150 ms on the CI runner class, so the ceiling carries wide headroom for
+// machine noise while still catching a real regression — reintroducing
+// per-link label rendering, per-direction heap allocations, or quadratic
+// priming each cost hundreds of milliseconds at this scale and compound
+// to seconds at 100k.
+func TestBuildBudget10kDevices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-device build is too heavy for -short")
+	}
+	cfg := ScaleConfig{Seed: 42}.withDefaults()
+	const count = 10_000
+	groups := scaleGroups(count)
+
+	start := time.Now()
+	tb, err := cfg.buildScale(count, groups, 4, 2, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Start()
+	elapsed := time.Since(start)
+	runtime.KeepAlive(tb)
+
+	const ceiling = 3 * time.Second
+	t.Logf("build+start: %v (%d devices, %d groups, 4 shards, ceiling %v)",
+		elapsed, count, groups, ceiling)
+	if elapsed > ceiling {
+		t.Fatalf("topology build budget exceeded: %v > %v", elapsed, ceiling)
+	}
+}
+
 // TestRunScaleBenchSmoke exercises the full sweep machinery on a small
 // fleet: every point must report a positive throughput headline and the
 // byte-identity cross-check inside RunScaleBench must hold across the
 // serial and partitioned runs.
 func TestRunScaleBenchSmoke(t *testing.T) {
 	pts, err := RunScaleBench(ScaleConfig{
-		Seed:      7,
-		Counts:    []int{300},
-		Duration:  500 * time.Millisecond,
-		DomainSet: []int{1, 2},
+		Seed:       7,
+		Counts:     []int{300},
+		Duration:   500 * time.Millisecond,
+		DomainSet:  []int{1, 2},
+		CoreShards: []int{1, 2},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pts) != 1 {
-		t.Fatalf("got %d points, want 1", len(pts))
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2 (one per core-shard setting)", len(pts))
 	}
-	pt := pts[0]
-	if pt.Devices != 300 || pt.Groups != scaleGroups(300) {
-		t.Fatalf("point mislabeled: %+v", pt)
-	}
-	if pt.Domains != 2 || pt.Workers != 2 {
-		t.Fatalf("headline should come from the partitioned run: %+v", pt)
-	}
-	if pt.WallMS <= 0 || pt.SerialWallMS <= 0 || pt.Events == 0 {
-		t.Fatalf("missing measurements: %+v", pt)
-	}
-	if pt.HeapBytesPerDevice <= 0 {
-		t.Fatalf("heap per device not measured: %+v", pt)
-	}
-	if pt.DevicesPerWallSecond <= 0 {
-		t.Fatalf("no throughput headline: %+v", pt)
-	}
-	if pt.Profile == nil || pt.Profile.Virtual == nil || pt.Profile.Engine == nil {
-		t.Fatalf("headline run's profile sections missing: %+v", pt.Profile)
-	}
-	if len(pt.Bottlenecks) == 0 {
-		t.Fatal("no bottleneck findings for the scale point")
+	for i, pt := range pts {
+		if pt.Devices != 300 || pt.Groups != scaleGroups(300) {
+			t.Fatalf("point %d mislabeled: %+v", i, pt)
+		}
+		if pt.CoreShards != []int{1, 2}[i] {
+			t.Fatalf("point %d core shards mislabeled: %+v", i, pt)
+		}
+		if pt.Domains != 2 || pt.Workers != 2 {
+			t.Fatalf("headline should come from the partitioned run: %+v", pt)
+		}
+		if pt.WallMS <= 0 || pt.SerialWallMS <= 0 || pt.Events == 0 {
+			t.Fatalf("missing measurements: %+v", pt)
+		}
+		if pt.BuildMS <= 0 || pt.SerialBuildMS <= 0 || pt.BuildDevicesPerSecond <= 0 {
+			t.Fatalf("missing build measurements: %+v", pt)
+		}
+		if pt.HeapBytesPerDevice <= 0 {
+			t.Fatalf("heap per device not measured: %+v", pt)
+		}
+		if pt.DevicesPerWallSecond <= 0 {
+			t.Fatalf("no throughput headline: %+v", pt)
+		}
+		if pt.Profile == nil || pt.Profile.Virtual == nil || pt.Profile.Engine == nil {
+			t.Fatalf("headline run's profile sections missing: %+v", pt.Profile)
+		}
+		if len(pt.Bottlenecks) == 0 {
+			t.Fatal("no bottleneck findings for the scale point")
+		}
 	}
 }

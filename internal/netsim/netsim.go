@@ -14,6 +14,7 @@ import (
 	"cmp"
 	"fmt"
 	"slices"
+	"strconv"
 	"sync"
 
 	"ddoshield/internal/packet"
@@ -54,7 +55,11 @@ type Network struct {
 	links    []*Link
 	switches []*Switch
 	macSeq   uint64
-	nameSet  map[string]bool
+	// linkSeq allocates link creation indices. It runs ahead of len(links)
+	// while stages hold reserved ranges; outside staged construction the two
+	// always agree.
+	linkSeq int
+	nameSet map[string]bool
 	// arrQs holds one delivery-normalization queue per scheduler frames
 	// can land on (one total for serial networks, one per domain when
 	// partitioned). See arrivalQueue.
@@ -134,7 +139,7 @@ func (n *Network) MinCrossDomainDelay() (sim.Time, bool) {
 	var min sim.Time
 	found := false
 	for _, l := range n.links {
-		d := l.dirs[0]
+		d := &l.dirs[0]
 		if d.fromDom != nil && d.fromDom != d.toDom {
 			if !found || l.cfg.Delay < min {
 				min = l.cfg.Delay
@@ -203,6 +208,26 @@ func (n *Network) Links() []*Link {
 	return out
 }
 
+// Grow pre-sizes the topology containers for a build of known shape, so
+// fleet-scale construction does not pay repeated slice growth and map
+// rehashing. Zero or negative hints are ignored.
+func (n *Network) Grow(nodes, links, switches int) {
+	if nodes > 0 {
+		n.nodes = slices.Grow(n.nodes, nodes)
+		bigger := make(map[string]bool, len(n.nameSet)+nodes)
+		for k, v := range n.nameSet {
+			bigger[k] = v
+		}
+		n.nameSet = bigger
+	}
+	if links > 0 {
+		n.links = slices.Grow(n.links, links)
+	}
+	if switches > 0 {
+		n.switches = slices.Grow(n.switches, switches)
+	}
+}
+
 // metricSlot reports whether one more entity may register its series,
 // consuming a slot when it can.
 func (n *Network) metricSlot() bool {
@@ -220,28 +245,32 @@ func (n *Network) registerNIC(c *NIC) {
 	if !n.metricSlot() {
 		return
 	}
-	l := telemetry.L("nic", c.name)
-	n.reg.RegisterCounter(&c.rxFrames, "netsim_nic_rx_frames_total", l)
-	n.reg.RegisterCounter(&c.rxBytes, "netsim_nic_rx_bytes_total", l)
-	n.reg.RegisterCounter(&c.txFrames, "netsim_nic_tx_frames_total", l)
-	n.reg.RegisterCounter(&c.txBytes, "netsim_nic_tx_bytes_total", l)
-	n.reg.RegisterCounter(&c.ingressDropped, "netsim_nic_ingress_dropped_total", l)
+	// One label render shared across the NIC's counter block: rendering is
+	// the allocation-heavy part of registration, and at fleet scale the
+	// per-entity blocks dominate topology build.
+	ls := telemetry.RenderLabels(telemetry.L("nic", c.name))
+	n.reg.RegisterCounterRendered(&c.rxFrames, "netsim_nic_rx_frames_total", ls)
+	n.reg.RegisterCounterRendered(&c.rxBytes, "netsim_nic_rx_bytes_total", ls)
+	n.reg.RegisterCounterRendered(&c.txFrames, "netsim_nic_tx_frames_total", ls)
+	n.reg.RegisterCounterRendered(&c.txBytes, "netsim_nic_tx_bytes_total", ls)
+	n.reg.RegisterCounterRendered(&c.ingressDropped, "netsim_nic_ingress_dropped_total", ls)
 }
 
 func (n *Network) registerLink(l *Link) {
 	if !n.metricSlot() {
 		return
 	}
-	for _, d := range l.dirs {
-		lb := telemetry.L("dir", d.name)
-		n.reg.RegisterCounter(&d.txFrames, "netsim_link_tx_frames_total", lb)
-		n.reg.RegisterCounter(&d.txBytes, "netsim_link_tx_bytes_total", lb)
-		n.reg.RegisterCounter(&d.dropFrames, "netsim_link_queue_drops_total", lb)
-		n.reg.RegisterCounter(&d.lossFrames, "netsim_link_loss_frames_total", lb)
-		n.reg.RegisterCounter(&d.corruptFrames, "netsim_link_corrupt_frames_total", lb)
-		n.reg.RegisterCounter(&d.dupFrames, "netsim_link_dup_frames_total", lb)
-		n.reg.RegisterCounter(&d.reorderFrames, "netsim_link_reorder_frames_total", lb)
-		n.reg.RegisterCounter(&d.inflightDrops, "netsim_link_inflight_drops_total", lb)
+	for i := range l.dirs {
+		d := &l.dirs[i]
+		ls := telemetry.RenderLabels(telemetry.L("dir", d.name))
+		n.reg.RegisterCounterRendered(&d.txFrames, "netsim_link_tx_frames_total", ls)
+		n.reg.RegisterCounterRendered(&d.txBytes, "netsim_link_tx_bytes_total", ls)
+		n.reg.RegisterCounterRendered(&d.dropFrames, "netsim_link_queue_drops_total", ls)
+		n.reg.RegisterCounterRendered(&d.lossFrames, "netsim_link_loss_frames_total", ls)
+		n.reg.RegisterCounterRendered(&d.corruptFrames, "netsim_link_corrupt_frames_total", ls)
+		n.reg.RegisterCounterRendered(&d.dupFrames, "netsim_link_dup_frames_total", ls)
+		n.reg.RegisterCounterRendered(&d.reorderFrames, "netsim_link_reorder_frames_total", ls)
+		n.reg.RegisterCounterRendered(&d.inflightDrops, "netsim_link_inflight_drops_total", ls)
 	}
 }
 
@@ -249,10 +278,10 @@ func (n *Network) registerSwitch(s *Switch) {
 	if !n.metricSlot() {
 		return
 	}
-	l := telemetry.L("switch", s.name)
-	n.reg.RegisterCounter(&s.forwarded, "netsim_switch_forwarded_total", l)
-	n.reg.RegisterCounter(&s.flooded, "netsim_switch_flooded_total", l)
-	n.reg.RegisterCounter(&s.partitionDrops, "netsim_switch_partition_drops_total", l)
+	ls := telemetry.RenderLabels(telemetry.L("switch", s.name))
+	n.reg.RegisterCounterRendered(&s.forwarded, "netsim_switch_forwarded_total", ls)
+	n.reg.RegisterCounterRendered(&s.flooded, "netsim_switch_flooded_total", ls)
+	n.reg.RegisterCounterRendered(&s.partitionDrops, "netsim_switch_partition_drops_total", ls)
 }
 
 // emit records a flight-recorder event. The caller supplies the instant
@@ -300,6 +329,9 @@ type Node struct {
 	nics  []*NIC
 	dom   *sim.Domain // nil in serial networks
 	sched *sim.Scheduler
+	// stage, while non-nil, routes identity allocation and metric
+	// registration through the owning construction stage; Merge clears it.
+	stage *Stage
 }
 
 // Name returns the node's unique name.
@@ -318,8 +350,11 @@ func (nd *Node) Domain() *sim.Domain { return nd.dom }
 
 // AddNIC attaches a new NIC to the node.
 func (nd *Node) AddNIC() *NIC {
+	if nd.stage != nil {
+		return nd.stage.addNIC(nd)
+	}
 	nic := &NIC{node: nd, mac: nd.net.nextMAC(), index: len(nd.nics)}
-	nic.name = fmt.Sprintf("%s/eth%d", nd.name, nic.index)
+	nic.name = nd.name + "/eth" + strconv.Itoa(nic.index)
 	nd.nics = append(nd.nics, nic)
 	nd.net.registerNIC(nic)
 	return nic
@@ -585,10 +620,14 @@ func (s *LinkStats) Add(o LinkStats) {
 // events are running; callers in a partitioned run route per-side
 // operations (SetUpSide, SetImpairmentsSide) to the owning schedulers.
 type Link struct {
-	net     *Network
-	cfg     LinkConfig
+	net *Network
+	cfg LinkConfig
+	// dirs[i] carries frames from ends[i] to ends[1-i]. The directions are
+	// embedded by value: at fleet scale the two extra allocations per link
+	// (and the pointer chase per delivery) were measurable in both build
+	// time and steady-state heap.
+	dirs    [2]direction
 	ends    [2]Port
-	dirs    [2]*direction // dirs[i] carries frames from ends[i] to ends[1-i]
 	taps    []Tap
 	ctxTaps []TapCtx
 	up      [2]bool // per-side cable state; owned by ends[i]'s domain
@@ -664,12 +703,23 @@ type direction struct {
 // the draw happens in the sender's domain before the frame crosses the
 // epoch barrier, so partitioned runs stay byte-identical to serial ones.
 func (n *Network) Connect(a, b Port, cfg LinkConfig) *Link {
-	l := &Link{net: n, cfg: cfg.withDefaults(), ends: [2]Port{a, b}, up: [2]bool{true, true}, idx: len(n.links)}
-	l.dirs[0] = &direction{
+	l := wireLink(n, a, b, cfg, n.linkSeq)
+	n.linkSeq++
+	n.links = append(n.links, l)
+	n.registerLink(l)
+	return l
+}
+
+// wireLink builds and binds a link with a caller-chosen creation index. It
+// touches no Network-owned collections, so stages can call it concurrently
+// over disjoint index ranges; Connect and Stage.Connect both delegate here.
+func wireLink(n *Network, a, b Port, cfg LinkConfig, idx int) *Link {
+	l := &Link{net: n, cfg: cfg.withDefaults(), ends: [2]Port{a, b}, up: [2]bool{true, true}, idx: idx}
+	l.dirs[0] = direction{
 		link: l, from: 0, name: a.String() + "->" + b.String(),
 		sched: a.scheduler(), fromDom: a.domain(), toDom: b.domain(), toSched: b.scheduler(),
 	}
-	l.dirs[1] = &direction{
+	l.dirs[1] = direction{
 		link: l, from: 1, name: b.String() + "->" + a.String(),
 		sched: b.scheduler(), fromDom: b.domain(), toDom: a.domain(), toSched: a.scheduler(),
 	}
@@ -678,10 +728,11 @@ func (n *Network) Connect(a, b Port, cfg LinkConfig) *Link {
 	l.dirs[0].doneFn = l.dirs[0].txDone
 	l.dirs[1].doneFn = l.dirs[1].txDone
 	if l.cfg.LossProb > 0 {
-		// Per-direction loss streams, fixed at construction (which is
-		// single-threaded): two seed draws per link when the caller shares
-		// an RNG, or structural keying from the network seed otherwise.
-		for i, d := range l.dirs {
+		// Per-direction loss streams, fixed at construction: two seed draws
+		// per link when the caller shares an RNG (single-threaded builds
+		// only), or structural keying from the network seed otherwise.
+		for i := range l.dirs {
+			d := &l.dirs[i]
 			if l.cfg.RNG != nil {
 				d.lossRNG = sim.NewRNG(l.cfg.RNG.Int63())
 			} else {
@@ -691,8 +742,6 @@ func (n *Network) Connect(a, b Port, cfg LinkConfig) *Link {
 	}
 	bindPort(a, l, 0)
 	bindPort(b, l, 1)
-	n.links = append(n.links, l)
-	n.registerLink(l)
 	return l
 }
 
@@ -703,7 +752,7 @@ const lossStreamKey = 0x6c696e6b2d6c6f73 // "link-los"
 // crossDomain reports whether the link's endpoints execute in different
 // PDES domains.
 func (l *Link) crossDomain() bool {
-	d := l.dirs[0]
+	d := &l.dirs[0]
 	return d.fromDom != nil && d.fromDom != d.toDom
 }
 
@@ -810,7 +859,8 @@ func (l *Link) Stats() (txFrames, txBytes, drops uint64) {
 // legacy view and /metrics can never diverge.
 func (l *Link) Counters() LinkStats {
 	var s LinkStats
-	for _, d := range l.dirs {
+	for i := range l.dirs {
+		d := &l.dirs[i]
 		s.TxFrames += d.txFrames.Value()
 		s.TxBytes += d.txBytes.Value()
 		s.QueueDrops += d.dropFrames.Value()
@@ -827,7 +877,7 @@ func (l *Link) Counters() LinkStats {
 // FROM ends[side] — the per-direction view the virtual-load profiler
 // attributes cross-domain frames with (Counters sums both directions).
 func (l *Link) CountersSide(side int) LinkStats {
-	d := l.dirs[side]
+	d := &l.dirs[side]
 	return LinkStats{
 		TxFrames:      d.txFrames.Value(),
 		TxBytes:       d.txBytes.Value(),
@@ -849,7 +899,7 @@ func (l *Link) serializationTime(n int) sim.Time {
 }
 
 func (l *Link) send(from int, raw []byte, tc trace.Context) {
-	d := l.dirs[from]
+	d := &l.dirs[from]
 	now := d.sched.Now()
 	// The "link" span opens at enqueue, so it covers queueing delay plus
 	// serialization plus propagation — the full hop latency.

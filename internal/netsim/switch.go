@@ -1,7 +1,7 @@
 package netsim
 
 import (
-	"fmt"
+	"strconv"
 
 	"ddoshield/internal/packet"
 	"ddoshield/internal/sim"
@@ -56,7 +56,7 @@ func (s *Switch) Domain() *sim.Domain { return s.dom }
 // NewPort adds a port to the switch; wire it with Network.Connect.
 func (s *Switch) NewPort() Port {
 	p := &switchPort{sw: s, index: len(s.ports)}
-	p.name = fmt.Sprintf("%s/port%d", s.name, p.index)
+	p.name = s.name + "/port" + strconv.Itoa(p.index)
 	s.ports = append(s.ports, p)
 	return p
 }

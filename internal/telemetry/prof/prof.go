@@ -72,6 +72,9 @@ func (p Phase) String() string {
 // methods (WallProfile, engine extras) must not race Run.
 type Profiler struct {
 	domains int
+	// devices sizes the build-rate derivation (build_devices_per_second);
+	// 0 leaves the rate unreported.
+	devices int
 
 	// Deterministic engine accounting (per (seed, Domains) configuration;
 	// independent of the worker count).
@@ -107,6 +110,15 @@ func New(domains int) *Profiler {
 		execNs:   make([]int64, domains),
 		waitNs:   make([]int64, domains),
 	}
+}
+
+// SetDevices records the fleet size the campaign builds, enabling the
+// wall plane's build_devices_per_second derivation.
+func (p *Profiler) SetDevices(n int) {
+	if p == nil || n < 0 {
+		return
+	}
+	p.devices = n
 }
 
 // Domains reports the domain count the profiler was sized for.

@@ -266,9 +266,13 @@ type DomainWall struct {
 // deterministic artifacts; consumers compare it across hosts at their own
 // risk.
 type WallProfile struct {
-	Phases    []PhaseWall  `json:"phases"`
-	MergeMS   float64      `json:"merge_ms,omitempty"`
-	PerDomain []DomainWall `json:"per_domain,omitempty"`
+	Phases []PhaseWall `json:"phases"`
+	// BuildDevicesPerSecond is fleet size over build+start wall time — the
+	// headline construction-throughput figure the scale bench tracks.
+	// Omitted when the fleet size is unknown or no build was timed.
+	BuildDevicesPerSecond float64      `json:"build_devices_per_second,omitempty"`
+	MergeMS               float64      `json:"merge_ms,omitempty"`
+	PerDomain             []DomainWall `json:"per_domain,omitempty"`
 }
 
 // WallProfile snapshots the wall-clock plane (nil receiver yields nil).
@@ -277,6 +281,9 @@ func (p *Profiler) WallProfile() *WallProfile {
 		return nil
 	}
 	wp := &WallProfile{MergeMS: float64(p.mergeNs) / 1e6}
+	if buildNs := p.phaseNs[PhaseBuild] + p.phaseNs[PhaseStart]; buildNs > 0 && p.devices > 0 {
+		wp.BuildDevicesPerSecond = float64(p.devices) / (float64(buildNs) / 1e9)
+	}
 	for ph := Phase(0); ph < numPhases; ph++ {
 		wp.Phases = append(wp.Phases, PhaseWall{Phase: ph.String(), MS: float64(p.phaseNs[ph]) / 1e6})
 	}

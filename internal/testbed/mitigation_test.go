@@ -29,15 +29,16 @@ func pdesMitigatedArtifacts(t *testing.T, domains, workers int) (summary, prom, 
 		MeanThink:    700 * time.Millisecond,
 		Domains:      domains,
 		PDESWorkers:  workers,
+		ScanInterval: 100 * time.Millisecond,
 		Churn: ChurnConfig{
 			Enabled:  true,
-			MeanUp:   8 * time.Second,
+			MeanUp:   14 * time.Second,
 			MeanDown: time.Second,
 		},
 		Faults:            chaosPlan(),
 		Link:              netsim.LinkConfig{LossProb: 0.01},
 		TrunkLink:         netsim.LinkConfig{LossProb: 0.02},
-		TraceSampleRate:   0.2,
+		TraceSampleRate:   0.5,
 		TraceSpanCapacity: 1 << 20,
 	})
 	if err != nil {
@@ -55,7 +56,7 @@ func pdesMitigatedArtifacts(t *testing.T, domains, workers int) (summary, prom, 
 	// campaign: infection needs ~12 s under churn, and the threshold rule
 	// only trips when the flood actually dominates a window.
 	tb.ScheduleAttackWave(12*time.Second, 2*time.Second,
-		tb.DefaultAttackWave(4*time.Second, 600))
+		tb.DefaultAttackWave(4*time.Second, 1500))
 	if err := tb.Run(30 * time.Second); err != nil {
 		t.Fatal(err)
 	}

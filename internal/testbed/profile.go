@@ -21,6 +21,7 @@ const (
 	endCore   = iota // core subtree: lan0, TServer, IDS, C2, attacker
 	endGroup         // a device group's subtree: edge switch, edge server
 	endDevice        // one device (its group/core attachment is the far end)
+	endShard         // one core-fabric shard switch (CoreShards > 1)
 )
 
 // linkEnd is one structural link endpoint; idx is the group or device
@@ -37,6 +38,8 @@ func (e linkEnd) evalDomain(pl placement) int {
 		return pl.domainOfGroup(e.idx)
 	case endDevice:
 		return pl.deviceDomain[e.idx]
+	case endShard:
+		return pl.domainOfShard(e.idx)
 	}
 	return 0
 }
@@ -88,6 +91,11 @@ func (tb *Testbed) VirtualProfile(evalDomains int) *prof.VirtualProfile {
 	entities = append(entities, prof.Entity{
 		Name: tb.sw.Name(), Kind: prof.KindSwitch, Domain: 0, Events: swEvents(tb.sw),
 	})
+	for s, ssw := range tb.shardSws {
+		entities = append(entities, prof.Entity{
+			Name: ssw.Name(), Kind: prof.KindSwitch, Domain: pl.domainOfShard(s), Events: swEvents(ssw),
+		})
+	}
 	for g, esw := range tb.edgeSws {
 		entities = append(entities, prof.Entity{
 			Name: esw.Name(), Kind: prof.KindSwitch, Domain: pl.domainOfGroup(g), Events: swEvents(esw),

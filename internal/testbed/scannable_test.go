@@ -1,0 +1,89 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScannablePlaneDefault pins the attacker's default probe space at the
+// classic 254-address 10.0.2.0/24 plane regardless of fleet size: without
+// Config.ScannableDevices, devices beyond the first 246 live outside the
+// scanner's reach (they are benign-only extension capacity), and widening
+// requests on fleets that fit the classic plane change nothing.
+func TestScannablePlaneDefault(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		devices int
+		limit   int
+	}{
+		{"small fleet", 8, 0},
+		{"fleet beyond classic plane", 300, 0},
+		{"widened but fleet fits classic plane", 8, 2048},
+	} {
+		tb, err := New(Config{Seed: 3, NumDevices: tc.devices, ScannableDevices: tc.limit})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := tb.Attacker().ScanSpan(); got != 254 {
+			t.Fatalf("%s: scan span = %d, want classic 254", tc.name, got)
+		}
+	}
+}
+
+// TestScannablePlaneWidened checks the extension wiring: raising
+// ScannableDevices past the classic 246-device plane extends the scanner
+// with exactly the extension-plane addresses that exist, capped by the
+// fleet size.
+func TestScannablePlaneWidened(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		devices int
+		limit   int
+		want    int
+	}{
+		{"fully scannable fleet", 300, 300, 254 + (300 - 246)},
+		{"partially widened", 300, 260, 254 + (260 - 246)},
+		{"limit beyond fleet", 300, 2048, 254 + (300 - 246)},
+	} {
+		tb, err := New(Config{Seed: 3, NumDevices: tc.devices, ScannableDevices: tc.limit})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := tb.Attacker().ScanSpan(); got != tc.want {
+			t.Fatalf("%s: scan span = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestExtendedPlaneInfection is the end-to-end satellite check: with the
+// plane widened, the scan-and-infect pipeline must actually conscript
+// devices living at extension addresses (10.4.0.0+), proving ARP/FDB
+// wiring, scanner target selection and the loader all reach past the
+// classic 246-device boundary.
+func TestExtendedPlaneInfection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension-plane campaign is slow")
+	}
+	tb, err := New(Config{
+		Seed:             21,
+		NumDevices:       250,
+		ScannableDevices: 250,
+		ScanInterval:     2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Start()
+	if err := tb.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	extension := 0
+	for i, d := range tb.Devices() {
+		if i >= classicPlaneDevices && d.Device.Infected() {
+			extension++
+		}
+	}
+	if extension == 0 {
+		t.Fatalf("no extension-plane device infected (fleet infected=%d)", tb.InfectedCount())
+	}
+}

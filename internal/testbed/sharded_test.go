@@ -1,0 +1,239 @@
+package testbed
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ddoshield/internal/netsim"
+	"ddoshield/internal/telemetry"
+	"ddoshield/internal/telemetry/trace"
+)
+
+// shardedArtifacts runs one full campaign on the sharded core fabric —
+// CoreShards=4 over 4 edge groups, so every group trunks into its own
+// shard switch — and returns the byte-comparable artifacts. The faulted
+// variant layers device churn, the five-kind chaos plan, and lossy
+// access + trunk links on top, exercising fault sub-events that now
+// execute in shard domains.
+func shardedArtifacts(t *testing.T, domains, workers int, faulted bool) (summary, prom, spans string) {
+	t.Helper()
+	cfg := Config{
+		Seed:              42,
+		NumDevices:        12,
+		DeviceGroups:      4,
+		CoreShards:        4,
+		MeanThink:         700 * time.Millisecond,
+		Domains:           domains,
+		PDESWorkers:       workers,
+		TraceSampleRate:   0.2,
+		TraceSpanCapacity: 1 << 20,
+	}
+	if faulted {
+		cfg.Churn = ChurnConfig{Enabled: true, MeanUp: 8 * time.Second, MeanDown: time.Second}
+		cfg.Faults = chaosPlan()
+		cfg.Link = netsim.LinkConfig{LossProb: 0.01}
+		cfg.TrunkLink = netsim.LinkConfig{LossProb: 0.02}
+	}
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tb.CoreShardSwitches()); got != 4 {
+		t.Fatalf("got %d core shard switches, want 4", got)
+	}
+	tb.Start()
+	tb.ScheduleAttackWave(8*time.Second, 2*time.Second,
+		tb.DefaultAttackWave(4*time.Second, 150))
+	if err := tb.Run(25 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Tracer().Evicted() != 0 {
+		t.Fatalf("span ring evicted %d spans; grow TraceSpanCapacity", tb.Tracer().Evicted())
+	}
+	var pb, sb bytes.Buffer
+	if err := telemetry.WritePrometheus(&pb, tb.Registry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteSpans(&sb, trace.CanonicalSpans(tb.Tracer().Spans())); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Summary(), pb.String(), sb.String()
+}
+
+// TestShardedCoreDeterminism is the core-fabric acceptance test: the same
+// seeded campaign on a 4-shard core must produce byte-identical Summary
+// output, Prometheus snapshots and canonical span files across
+// Domains ∈ {1, 2, NumCPU}. Shard switches live in their own PDES domains
+// under the partitioned engine, so this pins that frames relayed through
+// the fabric (device scans, C2 traffic, flood convergence on the TServer)
+// merge deterministically at the extra shard hops. Run under -race in CI.
+func TestShardedCoreDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded determinism matrix is slow")
+	}
+	wantSummary, wantProm, wantSpans := shardedArtifacts(t, 1, 1, false)
+	if !strings.Contains(wantSummary, "corefab      shards=4") {
+		t.Fatalf("summary missing core-fabric section:\n%s", wantSummary)
+	}
+	if strings.Contains(wantSummary, "infected=0") {
+		t.Fatalf("campaign conscripted nothing through the fabric:\n%s", wantSummary)
+	}
+	if wantSpans == "" {
+		t.Fatal("serial baseline produced no trace spans")
+	}
+	cpus := runtime.NumCPU()
+	if cpus < 4 {
+		cpus = 4
+	}
+	for _, tc := range []struct{ domains, workers int }{
+		{2, 0},
+		{2, 1},
+		{cpus, 0},
+	} {
+		summary, prom, spans := shardedArtifacts(t, tc.domains, tc.workers, false)
+		if summary != wantSummary {
+			t.Fatalf("domains=%d workers=%d: sharded Summary diverged\n--- serial ---\n%s--- parallel ---\n%s",
+				tc.domains, tc.workers, wantSummary, summary)
+		}
+		if prom != wantProm {
+			t.Fatalf("domains=%d workers=%d: sharded Prometheus snapshot diverged (%d vs %d bytes)",
+				tc.domains, tc.workers, len(wantProm), len(prom))
+		}
+		if spans != wantSpans {
+			t.Fatalf("domains=%d workers=%d: sharded canonical span output diverged (%d vs %d bytes)",
+				tc.domains, tc.workers, len(wantSpans), len(spans))
+		}
+	}
+}
+
+// TestShardedCoreFaultedDeterminism layers the full chaos stack — churn,
+// the five-kind fault plan, lossy access and trunk links — on the 4-shard
+// fabric and demands the same byte-identity bar across domain counts.
+func TestShardedCoreFaultedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded faulted determinism matrix is slow")
+	}
+	wantSummary, wantProm, wantSpans := shardedArtifacts(t, 1, 1, true)
+	if !strings.Contains(wantSummary, "faults") {
+		t.Fatalf("faulted baseline injected nothing:\n%s", wantSummary)
+	}
+	if wantSpans == "" {
+		t.Fatal("faulted baseline produced no trace spans")
+	}
+	cpus := runtime.NumCPU()
+	if cpus < 4 {
+		cpus = 4
+	}
+	for _, domains := range []int{2, cpus} {
+		summary, prom, spans := shardedArtifacts(t, domains, 0, true)
+		if summary != wantSummary {
+			t.Fatalf("domains=%d: faulted sharded Summary diverged\n--- serial ---\n%s--- parallel ---\n%s",
+				domains, wantSummary, summary)
+		}
+		if prom != wantProm {
+			t.Fatalf("domains=%d: faulted sharded Prometheus snapshot diverged", domains)
+		}
+		if spans != wantSpans {
+			t.Fatalf("domains=%d: faulted sharded canonical span output diverged", domains)
+		}
+	}
+}
+
+// TestSerialBuildByteIdentity pins the parallel-construction contract: a
+// campaign on a topology built with the per-group goroutine fan-out must
+// be byte-identical to one built with Config.SerialBuild — same MACs,
+// same link indices, same registration order, hence same Summary and
+// Prometheus snapshot after identical traffic.
+func TestSerialBuildByteIdentity(t *testing.T) {
+	run := func(serial bool) (string, string) {
+		tb, err := New(Config{
+			Seed:         11,
+			NumDevices:   16,
+			DeviceGroups: 4,
+			CoreShards:   2,
+			MeanThink:    500 * time.Millisecond,
+			Domains:      2,
+			SerialBuild:  serial,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.Start()
+		tb.ScheduleAttackWave(4*time.Second, time.Second,
+			tb.DefaultAttackWave(2*time.Second, 100))
+		if err := tb.Run(12 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		var pb bytes.Buffer
+		if err := telemetry.WritePrometheus(&pb, tb.Registry()); err != nil {
+			t.Fatal(err)
+		}
+		return tb.Summary(), pb.String()
+	}
+	wantSummary, wantProm := run(true)
+	gotSummary, gotProm := run(false)
+	if gotSummary != wantSummary {
+		t.Fatalf("parallel build diverged from serial build\n--- serial ---\n%s--- parallel ---\n%s",
+			wantSummary, gotSummary)
+	}
+	if gotProm != wantProm {
+		t.Fatalf("parallel build Prometheus snapshot diverged (%d vs %d bytes)",
+			len(wantProm), len(gotProm))
+	}
+}
+
+// TestCoreShardsDefaultUnsharded pins backward compatibility: CoreShards
+// unset (or 1) must build the classic single-core-switch topology — no
+// shard switches, no corefab summary section — and behave identically to
+// an explicit CoreShards=1.
+func TestCoreShardsDefaultUnsharded(t *testing.T) {
+	run := func(shards int) (*Testbed, string) {
+		tb, err := New(Config{
+			Seed:         5,
+			NumDevices:   8,
+			DeviceGroups: 4,
+			CoreShards:   shards,
+			MeanThink:    500 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.Start()
+		if err := tb.Run(8 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return tb, tb.Summary()
+	}
+	tbDefault, sumDefault := run(0)
+	tbOne, sumOne := run(1)
+	if len(tbDefault.CoreShardSwitches()) != 0 || len(tbOne.CoreShardSwitches()) != 0 {
+		t.Fatal("unsharded configs must not build shard switches")
+	}
+	if strings.Contains(sumDefault, "corefab") {
+		t.Fatalf("unsharded summary must not report a core fabric:\n%s", sumDefault)
+	}
+	if sumDefault != sumOne {
+		t.Fatalf("CoreShards=0 and CoreShards=1 diverged\n--- 0 ---\n%s--- 1 ---\n%s",
+			sumDefault, sumOne)
+	}
+}
+
+// TestCoreShardsValidation pins the config surface: negative counts,
+// sharding a flat topology, and more shards than groups are all rejected.
+func TestCoreShardsValidation(t *testing.T) {
+	if _, err := New(Config{Seed: 1, NumDevices: 4, CoreShards: -1}); err == nil {
+		t.Fatal("negative CoreShards should be rejected")
+	}
+	if _, err := New(Config{Seed: 1, NumDevices: 4, CoreShards: 2}); err == nil {
+		t.Fatal("CoreShards > 1 on a flat topology should be rejected")
+	}
+	if _, err := New(Config{Seed: 1, NumDevices: 8, DeviceGroups: 2, CoreShards: 3}); err == nil {
+		t.Fatal("CoreShards > DeviceGroups should be rejected")
+	}
+	if _, err := New(Config{Seed: 1, NumDevices: 8, ScannableDevices: -1}); err == nil {
+		t.Fatal("negative ScannableDevices should be rejected")
+	}
+}

@@ -8,7 +8,9 @@ package testbed
 
 import (
 	"fmt"
+	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"ddoshield/internal/apps/ftpapp"
@@ -72,11 +74,20 @@ func deviceAddr(i int) packet.Addr {
 	return packet.AddrFrom4(10, byte(4+n>>16), byte(n>>8), byte(n))
 }
 
+// scannableLimit reports how many leading devices the attacker's scanner
+// can reach: Config.ScannableDevices when set, else the classic 246-device
+// 10.0.2.x plane.
+func (c Config) scannableLimit() int {
+	if c.ScannableDevices > 0 {
+		return c.ScannableDevices
+	}
+	return classicPlaneDevices
+}
+
 // deviceScannable reports whether device i is reachable by the attacker's
-// scanner (inside its 10.0.2.0/24 target range) and therefore a potential
-// bot. The partitioner weighs scannable vulnerable devices as future
-// flood sources.
-func deviceScannable(i int) bool { return i < classicPlaneDevices }
+// scanner (inside its target ranges) and therefore a potential bot. The
+// partitioner weighs scannable vulnerable devices as future flood sources.
+func (c Config) deviceScannable(i int) bool { return i < c.scannableLimit() }
 
 // maxMetricEntities bounds how many netsim entities (NICs, links,
 // switches) publish per-entity metric series. Infrastructure and the
@@ -166,6 +177,27 @@ type Config struct {
 	// trunk delay is the dominant term of the engine lookahead, so larger
 	// values buy wider parallel windows.
 	TrunkLink netsim.LinkConfig
+	// CoreShards splits the core plane into this many switch shards
+	// (core00..coreNN), each uplinked to lan0 over TrunkLink and owning
+	// the trunks of the edge groups assigned to it (contiguous blocks:
+	// group g trunks to shard g*CoreShards/DeviceGroups, so the scannable
+	// plane's groups sit behind one shard). The TServer/IDS/C2/attacker
+	// plane stays on
+	// lan0, reachable from every shard through its uplink, so all
+	// classic paths still exist — sharding only spreads the core relay
+	// work across shards, which the partitioner places in distinct PDES
+	// domains by their pulled trunk load. 0 or 1 keeps today's single
+	// core switch. Requires DeviceGroups >= CoreShards. Like every other
+	// topology knob, the shard layout is a pure function of the Config:
+	// Domains never changes what is simulated.
+	CoreShards int
+	// SerialBuild forces topology construction onto one goroutine even
+	// for grouped fleets. The staged parallel build is defined to produce
+	// a byte-identical testbed (same MACs, link indices, metric
+	// registration order); this switch exists so tests can pin that
+	// equivalence and so anomalies can be bisected against the reference
+	// path.
+	SerialBuild bool
 	// EdgeServers gives each device group a local HTTP server
 	// (10.0.3.1+g) on its access switch, and points the group's devices
 	// at it instead of the central TServer. This keeps benign request
@@ -210,6 +242,15 @@ type Config struct {
 	// survive churn restarts (the host's ARP cache always has). Off by
 	// default: small paper-faithful topologies resolve dynamically.
 	PrimeARP bool
+	// ScannableDevices widens (or narrows) the attacker's scannable plane:
+	// the first ScannableDevices devices are reachable by the scanner and
+	// therefore conscriptable. 0 keeps the classic behaviour — only the
+	// 246-device 10.0.2.x plane, exactly the attacker's historical
+	// 10.0.2.0/24 range. Values above classicPlaneDevices extend the
+	// attacker's probe space into the 10.4.0.0+ extension plane (see
+	// botnet.AttackerConfig.ExtraRanges), letting fleet-scale campaigns
+	// recruit bots beyond the first 246 devices.
+	ScannableDevices int
 }
 
 func (c Config) withDefaults() Config {
@@ -237,6 +278,9 @@ func (c Config) withDefaults() Config {
 	if c.DeviceGroups == 0 {
 		c.DeviceGroups = 1
 	}
+	if c.CoreShards == 0 {
+		c.CoreShards = 1
+	}
 	if c.Domains < 1 {
 		c.Domains = 1
 	}
@@ -259,7 +303,28 @@ func (c Config) validate() error {
 	if c.EdgeServers && c.DeviceGroups > 254 {
 		return fmt.Errorf("testbed: EdgeServers supports at most 254 groups (got %d)", c.DeviceGroups)
 	}
+	if c.CoreShards < 0 {
+		return fmt.Errorf("testbed: CoreShards must be >= 0 (got %d)", c.CoreShards)
+	}
+	if c.CoreShards > 1 && c.DeviceGroups < 2 {
+		return fmt.Errorf("testbed: CoreShards > 1 requires DeviceGroups >= 2 (got %d)", c.DeviceGroups)
+	}
+	if c.CoreShards > c.DeviceGroups && c.CoreShards > 1 {
+		return fmt.Errorf("testbed: CoreShards %d exceeds DeviceGroups %d", c.CoreShards, c.DeviceGroups)
+	}
+	if c.ScannableDevices < 0 {
+		return fmt.Errorf("testbed: ScannableDevices must be >= 0 (got %d)", c.ScannableDevices)
+	}
 	return nil
+}
+
+// coreShardCount reports the effective number of core switch shards
+// (1 = the classic single lan0 core). Requires withDefaults.
+func (c Config) coreShardCount() int {
+	if c.CoreShards > 1 && c.DeviceGroups > 1 {
+		return c.CoreShards
+	}
+	return 1
 }
 
 // DeviceHandle pairs a device with its container.
@@ -276,7 +341,12 @@ type Testbed struct {
 	network *netsim.Network
 	runtime *container.Runtime
 	sw      *netsim.Switch
-	edgeSws []*netsim.Switch
+	// shardSws are the core fabric shards (empty when CoreShards <= 1);
+	// shard s uplinks to lan0 and owns the trunks of the groups whose
+	// groupShard entry is s (contiguous blocks, see placement.groupShard).
+	shardSws   []*netsim.Switch
+	groupShard []int
+	edgeSws    []*netsim.Switch
 
 	tserver   *container.Container
 	idsC      *container.Container
@@ -354,11 +424,24 @@ func New(cfg Config) (*Testbed, error) {
 	if cfg.Profile && prof.Enabled {
 		tb.prof = prof.New(cfg.Domains)
 	}
+	tb.prof.SetDevices(cfg.NumDevices)
 	tb.prof.StartPhase(prof.PhaseBuild)
+	// Fleet-scale builds allocate tens of millions of small objects, none
+	// of which are garbage until the fleet is live — construction is one
+	// monotonic allocation burst. At the default GC target the collector
+	// re-walks the growing heap dozens of times before the topology
+	// exists, so the collector is switched off for the burst and restored
+	// before New returns. The peak is bounded by the fleet's live
+	// footprint (~3 KB/device plus transients), far below any host this
+	// scale runs on, and steady state re-enables normal collection.
+	if cfg.NumDevices >= 20_000 {
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	}
 	// Deterministic load-aware placement: device -> group, group -> domain
 	// (see partition.go). Computed up front because edge switches must be
 	// created in their groups' domains before any device exists.
 	pl := cfg.layout()
+	tb.groupShard = pl.groupShard
 	if cfg.Domains > 1 {
 		tb.engine = sim.NewEngine(cfg.Domains, 0)
 		tb.sched = tb.engine.Domain(0).Scheduler()
@@ -401,6 +484,21 @@ func New(cfg Config) (*Testbed, error) {
 		tb.network.SetTracer(tb.tracer)
 	}
 	tb.runtime = container.NewRuntime(tb.network)
+	// Pre-size the network's entity collections for the whole topology so
+	// fleet-scale builds never re-grow them mid-construction.
+	{
+		srvs, groups, extraSw := 0, 0, 0
+		if cfg.DeviceGroups > 1 {
+			groups = cfg.DeviceGroups
+			if cfg.EdgeServers {
+				srvs = cfg.DeviceGroups
+			}
+		}
+		if s := cfg.coreShardCount(); s > 1 {
+			extraSw = s
+		}
+		tb.network.Grow(4+srvs+cfg.NumDevices, 4+extraSw+groups+srvs+cfg.NumDevices, 1+extraSw+groups)
+	}
 	tb.sw = tb.network.NewSwitch("lan0")
 
 	hostCfg := func(addr packet.Addr) netstack.HostConfig {
@@ -465,8 +563,18 @@ func New(cfg Config) (*Testbed, error) {
 	}
 
 	// Attacker container: scanner + loader over the device address plane.
+	// With ScannableDevices past the classic 246-device 10.0.2.x plane,
+	// the scanner also sweeps the contiguous 10.4.0.0+ extension block
+	// those devices live in; the default remains exactly the historical
+	// 10.0.2.0/24 range.
+	var extraRanges []botnet.ScanRange
+	if lim := cfg.scannableLimit(); lim > classicPlaneDevices && cfg.NumDevices > classicPlaneDevices {
+		count := min(lim, cfg.NumDevices) - classicPlaneDevices
+		extraRanges = []botnet.ScanRange{{Base: deviceAddr(classicPlaneDevices), Count: uint32(count)}}
+	}
 	tb.attacker = botnet.NewAttacker(botnet.AttackerConfig{
 		TargetRange:       packet.Prefix{Addr: packet.AddrFrom4(10, 0, 2, 0), Bits: 24},
+		ExtraRanges:       extraRanges,
 		C2Addr:            addrC2,
 		C2Port:            tb.c2.Port(),
 		MeanProbeInterval: cfg.ScanInterval,
@@ -488,16 +596,48 @@ func New(cfg Config) (*Testbed, error) {
 		tb.trackLink(c.Link(), linkEnd{kind: endCore}, linkEnd{kind: endCore})
 	}
 
-	// Access layer: with DeviceGroups > 1 every group gets an edge switch
-	// trunked to the core lan0, placed in the group's PDES domain (domain
-	// 0 when serial), and optionally a group-local HTTP edge server.
+	// Core fabric shards: with CoreShards > 1 the core plane splits into
+	// shard switches, each uplinked to lan0 (where the TServer/IDS/C2/
+	// attacker plane stays) and owning the trunks of the edge groups
+	// assigned to it. shardLanPorts[s] is the lan0-side port of shard s's
+	// uplink — the port lan0 must learn to reach anything behind shard s.
+	shards := cfg.coreShardCount()
+	var shardLanPorts []netsim.Port
+	if shards > 1 {
+		for s := 0; s < shards; s++ {
+			ssw := tb.network.NewSwitchInDomain(fmt.Sprintf("core%02d", s), pl.domainOfShard(s))
+			lanPort, upPort := tb.sw.NewPort(), ssw.NewPort()
+			uplink := tb.network.Connect(lanPort, upPort, cfg.TrunkLink)
+			tb.trackLink(uplink, linkEnd{kind: endCore}, linkEnd{kind: endShard, idx: s})
+			tb.shardSws = append(tb.shardSws, ssw)
+			shardLanPorts = append(shardLanPorts, lanPort)
+			if cfg.PrimeARP {
+				// Core-plane hosts reached from behind this shard go via
+				// the uplink.
+				ssw.Learn(tb.tserver.Host().MAC(), upPort)
+				ssw.Learn(tb.attackerC.Host().MAC(), upPort)
+				ssw.Learn(tb.c2C.Host().MAC(), upPort)
+			}
+		}
+	}
+
+	// Access-layer infrastructure: every group's edge switch plus its
+	// trunk into the core fabric (its shard's switch, or lan0 directly
+	// when unsharded), placed in the group's PDES domain. Built serially:
+	// switches and trunks are the shared wiring the staged group builds
+	// below attach to.
 	var trunkCorePorts []netsim.Port
 	if cfg.DeviceGroups > 1 {
 		for g := 0; g < cfg.DeviceGroups; g++ {
 			esw := tb.network.NewSwitchInDomain(fmt.Sprintf("edge%02d", g), pl.domainOfGroup(g))
-			corePort, edgePort := tb.sw.NewPort(), esw.NewPort()
+			coreSw, coreEnd := tb.sw, linkEnd{kind: endCore}
+			if shards > 1 {
+				s := pl.groupShard[g]
+				coreSw, coreEnd = tb.shardSws[s], linkEnd{kind: endShard, idx: s}
+			}
+			corePort, edgePort := coreSw.NewPort(), esw.NewPort()
 			trunk := tb.network.Connect(corePort, edgePort, cfg.TrunkLink)
-			tb.trackLink(trunk, linkEnd{kind: endCore}, linkEnd{kind: endGroup, idx: g})
+			tb.trackLink(trunk, coreEnd, linkEnd{kind: endGroup, idx: g})
 			trunkCorePorts = append(trunkCorePorts, corePort)
 			tb.edgeSws = append(tb.edgeSws, esw)
 			if cfg.PrimeARP {
@@ -505,26 +645,6 @@ func New(cfg Config) (*Testbed, error) {
 				esw.Learn(tb.tserver.Host().MAC(), edgePort)
 				esw.Learn(tb.attackerC.Host().MAC(), edgePort)
 				esw.Learn(tb.c2C.Host().MAC(), edgePort)
-			}
-			if cfg.EdgeServers {
-				srv := httpapp.NewServer(httpapp.ServerConfig{Seed: cfg.Seed + 2000 + int64(g)})
-				srvApp := container.AppFuncs{
-					OnStart: func(c *container.Container) { _ = srv.Attach(c.Host()) },
-					OnStop:  srv.Detach,
-				}
-				srvC, err := tb.runtime.Create(container.Spec{
-					Name: fmt.Sprintf("edge%02d-srv", g), Image: "edge:http",
-					Host: hostCfg(edgeServerAddr(g)), App: srvApp, Domain: pl.domainOfGroup(g),
-				}, esw, cfg.Link)
-				if err != nil {
-					return nil, fmt.Errorf("testbed: %w", err)
-				}
-				tb.edgeSrvs = append(tb.edgeSrvs, srv)
-				tb.edgeCs = append(tb.edgeCs, srvC)
-				tb.trackLink(srvC.Link(), linkEnd{kind: endGroup, idx: g}, linkEnd{kind: endGroup, idx: g})
-				if cfg.PrimeARP {
-					esw.Learn(srvC.Host().MAC(), srvC.SwitchPort())
-				}
 			}
 		}
 	}
@@ -534,79 +654,10 @@ func New(cfg Config) (*Testbed, error) {
 		}
 	}
 
-	// Device fleet: group g's devices hang off its edge switch and target
-	// its edge server when configured; the flat topology keeps everything
-	// on lan0 aimed at the central TServer. Class state is shared: one
-	// flyweight template per (profile, target) pair serves every instance.
-	templates := make(map[templateKey]*devices.Template)
-	for i := 0; i < cfg.NumDevices; i++ {
-		profile := cfg.Profiles[i%len(cfg.Profiles)]
-		name := fmt.Sprintf("dev%02d-%s", i, profile.Kind)
-		accessSw, group := tb.sw, 0
-		dom := pl.deviceDomain[i]
-		if cfg.DeviceGroups > 1 {
-			group = pl.deviceGroup[i]
-			accessSw = tb.edgeSws[group]
-		}
-		target := addrTServer
-		if cfg.EdgeServers {
-			target = edgeServerAddr(group)
-		}
-		tk := templateKey{profile: i % len(cfg.Profiles), target: target}
-		tmpl := templates[tk]
-		if tmpl == nil {
-			tmpl = devices.NewTemplate(devices.TemplateConfig{
-				Profile:    profile,
-				TServer:    target,
-				SpoofRange: DefaultSpoofRange,
-				MeanThink:  cfg.MeanThink,
-			})
-			templates[tk] = tmpl
-		}
-		dev := tmpl.Instantiate(name, cfg.Seed+1000+int64(i)*13)
-		devC, err := tb.runtime.Create(container.Spec{
-			Name: name, Image: "iot:" + profile.Kind,
-			Host: hostCfg(deviceAddr(i)), App: dev, Domain: dom,
-		}, accessSw, cfg.Link)
-		if err != nil {
-			return nil, fmt.Errorf("testbed: %w", err)
-		}
-		tb.devs = append(tb.devs, DeviceHandle{Container: devC, Device: dev})
-		accessEnd := linkEnd{kind: endCore}
-		if cfg.DeviceGroups > 1 {
-			accessEnd = linkEnd{kind: endGroup, idx: group}
-		}
-		tb.trackLink(devC.Link(), linkEnd{kind: endDevice, idx: i}, accessEnd)
-		if cfg.PrimeARP {
-			devH := devC.Host()
-			accessSw.Learn(devH.MAC(), devC.SwitchPort())
-			srvH := tb.tserver.Host()
-			if cfg.EdgeServers {
-				srvH = tb.edgeCs[group].Host()
-			}
-			bindARP(devH, srvH)
-			if deviceScannable(i) {
-				if cfg.DeviceGroups > 1 {
-					// The loader/C2/TServer reach this device over the trunk.
-					tb.sw.Learn(devH.MAC(), trunkCorePorts[group])
-				}
-				// Only the classic plane is inside the attacker's scan
-				// range; those devices also talk to the loader, the C2
-				// (as bots) and the TServer (as flooders).
-				bindARP(devH, tb.attackerC.Host())
-				bindARP(devH, tb.c2C.Host())
-				if cfg.EdgeServers {
-					bindARP(devH, tb.tserver.Host())
-				}
-			}
-		}
-		// Per-device churn stream, fixed now so the map is read-only once
-		// the simulation runs (entries mutate only in the owning domain).
-		// Skipped entirely when churn is off — at fleet scale the unused
-		// RNG states would dominate per-device cost.
-		if cfg.Churn.Enabled {
-			tb.churn[devC] = &churnState{rng: sim.KeyedStream(cfg.Seed, churnStreamKey, uint64(i))}
-		}
+	// Device fleet (and per-group edge servers): built group-major, in
+	// parallel for grouped topologies unless Config.SerialBuild.
+	if err := tb.buildAccessLayer(pl, trunkCorePorts, shardLanPorts, hostCfg); err != nil {
+		return nil, err
 	}
 
 	// Fault injection: register every container in creation order so glob
@@ -634,6 +685,273 @@ func New(cfg Config) (*Testbed, error) {
 	}
 	tb.prof.EndPhase(prof.PhaseBuild)
 	return tb, nil
+}
+
+// buildAccessLayer constructs the device fleet and per-group edge servers —
+// the bulk of the topology at fleet scale. Flat topologies keep the classic
+// inline loop. Grouped topologies build group-major through netsim
+// construction stages: identity ranges (MACs, link indices) are reserved
+// per group in canonical order before any entity exists, entity creation
+// fans out one goroutine per group (unless Config.SerialBuild), and the
+// stages merge back serially in the same canonical order — so the parallel
+// build is byte-identical to the sequential one. Mutations of shared state
+// (core-fabric MAC priming, core-plane hosts' static ARP, churn streams,
+// link attribution) are deferred to a final serial pass in global device
+// order.
+func (tb *Testbed) buildAccessLayer(pl placement, trunkCorePorts, shardLanPorts []netsim.Port, hostCfg func(packet.Addr) netstack.HostConfig) error {
+	cfg := tb.cfg
+	tb.devs = make([]DeviceHandle, cfg.NumDevices)
+
+	if cfg.DeviceGroups <= 1 {
+		// Flat topology: every device on lan0, aimed at the central
+		// TServer. Class state is shared — one flyweight template per
+		// profile slot serves every instance.
+		templates := make(map[templateKey]*devices.Template)
+		for i := 0; i < cfg.NumDevices; i++ {
+			profile := cfg.Profiles[i%len(cfg.Profiles)]
+			name := fmt.Sprintf("dev%02d-%s", i, profile.Kind)
+			tk := templateKey{profile: i % len(cfg.Profiles), target: addrTServer}
+			tmpl := templates[tk]
+			if tmpl == nil {
+				tmpl = devices.NewTemplate(devices.TemplateConfig{
+					Profile:    profile,
+					TServer:    addrTServer,
+					SpoofRange: DefaultSpoofRange,
+					MeanThink:  cfg.MeanThink,
+				})
+				templates[tk] = tmpl
+			}
+			dev := tmpl.Instantiate(name, cfg.Seed+1000+int64(i)*13)
+			devC, err := tb.runtime.Create(container.Spec{
+				Name: name, Image: "iot:" + profile.Kind,
+				Host: hostCfg(deviceAddr(i)), App: dev, Domain: pl.deviceDomain[i],
+			}, tb.sw, cfg.Link)
+			if err != nil {
+				return fmt.Errorf("testbed: %w", err)
+			}
+			tb.devs[i] = DeviceHandle{Container: devC, Device: dev}
+			tb.trackLink(devC.Link(), linkEnd{kind: endDevice, idx: i}, linkEnd{kind: endCore})
+			if cfg.PrimeARP {
+				devH := devC.Host()
+				tb.sw.Learn(devH.MAC(), devC.SwitchPort())
+				bindARP(devH, tb.tserver.Host())
+				if cfg.deviceScannable(i) {
+					bindARP(devH, tb.attackerC.Host())
+					bindARP(devH, tb.c2C.Host())
+				}
+			}
+			// Per-device churn stream, fixed now so the map is read-only
+			// once the simulation runs (entries mutate only in the owning
+			// domain). Skipped entirely when churn is off — at fleet scale
+			// the unused RNG states would dominate per-device cost.
+			if cfg.Churn.Enabled {
+				tb.churn[devC] = &churnState{rng: sim.KeyedStream(cfg.Seed, churnStreamKey, uint64(i))}
+			}
+		}
+		return nil
+	}
+
+	// Canonical group-major order: group g's slice of the fleet is its
+	// edge server (when configured) followed by its devices in ascending
+	// global index. Stages are created serially in exactly that order, so
+	// every MAC and link index is fixed before any goroutine runs.
+	byGroup := make([][]int, cfg.DeviceGroups)
+	for i, g := range pl.deviceGroup {
+		byGroup[g] = append(byGroup[g], i)
+	}
+	if cfg.EdgeServers {
+		tb.edgeSrvs = make([]*httpapp.Server, cfg.DeviceGroups)
+		tb.edgeCs = make([]*container.Container, cfg.DeviceGroups)
+	}
+	// Stage.Connect cannot split one shared loss RNG across goroutines;
+	// such configs fall back to the sequential direct path (st == nil),
+	// which executes the same canonical order inline.
+	useStages := !(cfg.Link.LossProb > 0 && cfg.Link.RNG != nil)
+	stages := make([]*netsim.Stage, cfg.DeviceGroups)
+	if useStages {
+		for g := range stages {
+			n := len(byGroup[g])
+			if cfg.EdgeServers {
+				n++
+			}
+			stages[g] = tb.network.NewStage(n, n)
+		}
+	}
+	tb.runtime.Grow(len(tb.devs) + len(tb.edgeCs))
+	stageCs := make([][]*container.Container, cfg.DeviceGroups)
+
+	buildGroup := func(g int, st *netsim.Stage) error {
+		esw := tb.edgeSws[g]
+		dom := pl.domainOfGroup(g)
+		cs := make([]*container.Container, 0, len(byGroup[g])+1)
+		target := addrTServer
+		if cfg.EdgeServers {
+			target = edgeServerAddr(g)
+			srv := httpapp.NewServer(httpapp.ServerConfig{Seed: cfg.Seed + 2000 + int64(g)})
+			srvApp := container.AppFuncs{
+				OnStart: func(c *container.Container) { _ = srv.Attach(c.Host()) },
+				OnStop:  srv.Detach,
+			}
+			srvC, err := tb.createIn(st, container.Spec{
+				Name: fmt.Sprintf("edge%02d-srv", g), Image: "edge:http",
+				Host: hostCfg(edgeServerAddr(g)), App: srvApp, Domain: dom,
+			}, esw)
+			if err != nil {
+				return err
+			}
+			tb.edgeSrvs[g], tb.edgeCs[g] = srv, srvC
+			cs = append(cs, srvC)
+			if cfg.PrimeARP {
+				esw.Learn(srvC.Host().MAC(), srvC.SwitchPort())
+			}
+		}
+		templates := make(map[templateKey]*devices.Template)
+		for _, i := range byGroup[g] {
+			profile := cfg.Profiles[i%len(cfg.Profiles)]
+			name := fmt.Sprintf("dev%02d-%s", i, profile.Kind)
+			tk := templateKey{profile: i % len(cfg.Profiles), target: target}
+			tmpl := templates[tk]
+			if tmpl == nil {
+				tmpl = devices.NewTemplate(devices.TemplateConfig{
+					Profile:    profile,
+					TServer:    target,
+					SpoofRange: DefaultSpoofRange,
+					MeanThink:  cfg.MeanThink,
+				})
+				templates[tk] = tmpl
+			}
+			dev := tmpl.Instantiate(name, cfg.Seed+1000+int64(i)*13)
+			devC, err := tb.createIn(st, container.Spec{
+				Name: name, Image: "iot:" + profile.Kind,
+				Host: hostCfg(deviceAddr(i)), App: dev, Domain: pl.deviceDomain[i],
+			}, esw)
+			if err != nil {
+				return err
+			}
+			tb.devs[i] = DeviceHandle{Container: devC, Device: dev}
+			cs = append(cs, devC)
+			if cfg.PrimeARP {
+				// Group-local priming only: the edge switch's table and
+				// the device's own ARP entries. The device's entries in
+				// core-plane hosts and core switches mutate shared state
+				// and are installed by the serial pass after Merge.
+				devH := devC.Host()
+				esw.Learn(devH.MAC(), devC.SwitchPort())
+				srvH := tb.tserver.Host()
+				if cfg.EdgeServers {
+					srvH = tb.edgeCs[g].Host()
+				}
+				devH.AddStaticARP(srvH.Addr(), srvH.MAC())
+				if cfg.EdgeServers {
+					srvH.AddStaticARP(devH.Addr(), devH.MAC())
+				}
+				if cfg.deviceScannable(i) {
+					atkH, c2H := tb.attackerC.Host(), tb.c2C.Host()
+					devH.AddStaticARP(atkH.Addr(), atkH.MAC())
+					devH.AddStaticARP(c2H.Addr(), c2H.MAC())
+					if cfg.EdgeServers {
+						tsH := tb.tserver.Host()
+						devH.AddStaticARP(tsH.Addr(), tsH.MAC())
+					}
+				}
+			}
+		}
+		stageCs[g] = cs
+		return nil
+	}
+
+	errs := make([]error, cfg.DeviceGroups)
+	if useStages && !cfg.SerialBuild {
+		var wg sync.WaitGroup
+		for g := range stages {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				errs[g] = buildGroup(g, stages[g])
+			}(g)
+		}
+		wg.Wait()
+	} else {
+		for g := range stages {
+			errs[g] = buildGroup(g, stages[g])
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if useStages {
+		tb.network.Merge(stages...)
+		for g := range stageCs {
+			if err := tb.runtime.Adopt(stageCs[g]...); err != nil {
+				return fmt.Errorf("testbed: %w", err)
+			}
+		}
+	}
+
+	// Serial epilogue in canonical order: link attribution for the staged
+	// containers, then the per-device shared-state priming the concurrent
+	// stages had to defer — core-fabric MAC learning, core-plane hosts'
+	// static ARP entries, churn streams.
+	for g := range tb.edgeCs {
+		tb.trackLink(tb.edgeCs[g].Link(), linkEnd{kind: endGroup, idx: g}, linkEnd{kind: endGroup, idx: g})
+	}
+	shards := cfg.coreShardCount()
+	for i := range tb.devs {
+		devC := tb.devs[i].Container
+		g := pl.deviceGroup[i]
+		if cfg.PrimeARP {
+			devH := devC.Host()
+			if !cfg.EdgeServers {
+				tb.tserver.Host().AddStaticARP(devH.Addr(), devH.MAC())
+			}
+			if cfg.deviceScannable(i) {
+				// The loader/C2/TServer reach this device through the core
+				// fabric: lan0 learns the path toward the device's shard,
+				// and the shard (or lan0 itself, unsharded) learns the
+				// trunk toward its group.
+				tb.coreSwitchOf(g).Learn(devH.MAC(), trunkCorePorts[g])
+				if shards > 1 {
+					tb.sw.Learn(devH.MAC(), shardLanPorts[pl.groupShard[g]])
+				}
+				tb.attackerC.Host().AddStaticARP(devH.Addr(), devH.MAC())
+				tb.c2C.Host().AddStaticARP(devH.Addr(), devH.MAC())
+				if cfg.EdgeServers {
+					tb.tserver.Host().AddStaticARP(devH.Addr(), devH.MAC())
+				}
+			}
+		}
+		tb.trackLink(devC.Link(), linkEnd{kind: endDevice, idx: i}, linkEnd{kind: endGroup, idx: g})
+		if cfg.Churn.Enabled {
+			tb.churn[devC] = &churnState{rng: sim.KeyedStream(cfg.Seed, churnStreamKey, uint64(i))}
+		}
+	}
+	return nil
+}
+
+// createIn creates a container through the staged path when st is non-nil,
+// else directly on the runtime — the sequential-fallback arm of the group
+// build, which allocates identities in the same canonical order the stage
+// reservations would have.
+func (tb *Testbed) createIn(st *netsim.Stage, spec container.Spec, sw *netsim.Switch) (*container.Container, error) {
+	if st != nil {
+		return tb.runtime.CreateStaged(st, spec, sw, tb.cfg.Link), nil
+	}
+	c, err := tb.runtime.Create(spec, sw, tb.cfg.Link)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	return c, nil
+}
+
+// coreSwitchOf reports the core-fabric switch owning group g's trunk:
+// its shard when the core is sharded, lan0 otherwise.
+func (tb *Testbed) coreSwitchOf(g int) *netsim.Switch {
+	if len(tb.shardSws) > 0 {
+		return tb.shardSws[tb.groupShard[g]]
+	}
+	return tb.sw
 }
 
 // registerEngineMetrics publishes the PDES engine's per-domain execution
@@ -836,6 +1154,14 @@ func (tb *Testbed) Network() *netsim.Network { return tb.network }
 // Switch exposes the LAN switch (for span-port taps).
 func (tb *Testbed) Switch() *netsim.Switch { return tb.sw }
 
+// CoreShardSwitches lists the core fabric's shard switches (empty when
+// CoreShards <= 1).
+func (tb *Testbed) CoreShardSwitches() []*netsim.Switch {
+	out := make([]*netsim.Switch, len(tb.shardSws))
+	copy(out, tb.shardSws)
+	return out
+}
+
 // TServer exposes the target-server container.
 func (tb *Testbed) TServer() *container.Container { return tb.tserver }
 
@@ -894,6 +1220,15 @@ func (tb *Testbed) Summary() string {
 	fwd, fld := tb.sw.Stats()
 	fmt.Fprintf(&b, "switch       forwarded=%d flooded=%d partition-drops=%d\n",
 		fwd, fld, tb.sw.PartitionDrops())
+	if len(tb.shardSws) > 0 {
+		var sfwd, sfld, sdrop uint64
+		for _, ssw := range tb.shardSws {
+			f, l := ssw.Stats()
+			sfwd, sfld, sdrop = sfwd+f, sfld+l, sdrop+ssw.PartitionDrops()
+		}
+		fmt.Fprintf(&b, "corefab      shards=%d forwarded=%d flooded=%d partition-drops=%d\n",
+			len(tb.shardSws), sfwd, sfld, sdrop)
+	}
 	var ls netsim.LinkStats
 	for _, c := range tb.allContainers() {
 		ls.Add(c.Link().Counters())
